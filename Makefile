@@ -1,0 +1,31 @@
+# Convenience targets for the PDT reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-only examples figures clean
+
+install:
+	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/
+
+bench-only:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# print every regenerated table/figure (DESIGN.md §4)
+figures:
+	$(PYTHON) -m pytest benchmarks/ -s -q
+
+examples:
+	@for ex in examples/*.py; do \
+		echo "=== $$ex ==="; \
+		$(PYTHON) $$ex || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,34 @@
+"""Shared fixtures for the experiment benches (see DESIGN.md §4).
+
+Each ``test_eN_*`` module regenerates one of the paper's tables/figures:
+it prints the regenerated artifact (run with ``-s`` to see it) and
+asserts the *shape* the paper reports.  ``pytest benchmarks/
+--benchmark-only`` also times the pipeline stages involved.
+"""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.ductape.pdb import PDB
+from repro.workloads.pooma import compile_pooma
+from repro.workloads.stack import compile_stack
+
+
+@pytest.fixture(scope="session")
+def stack_tree():
+    return compile_stack()
+
+
+@pytest.fixture(scope="session")
+def stack_pdb(stack_tree) -> PDB:
+    return PDB(analyze(stack_tree))
+
+
+@pytest.fixture(scope="session")
+def pooma_tree():
+    return compile_pooma()
+
+
+@pytest.fixture(scope="session")
+def pooma_pdb(pooma_tree) -> PDB:
+    return PDB(analyze(pooma_tree))

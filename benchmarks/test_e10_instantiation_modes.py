@@ -1,0 +1,130 @@
+"""E10 — Section 2: the "used" instantiation mode minimises the IL.
+
+"All template entities used in the compilation are instantiated and
+represented in the IL; unused member functions and static data members
+are not instantiated unnecessarily, minimizing compilation time and the
+size of the IL."
+
+Regenerated as a USED-vs-ALL comparison over the Stack corpus and a
+parameter sweep: instantiated member bodies, IL node counts, PDB sizes,
+and front-end time.
+"""
+
+import time
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.cpp.instantiate import InstantiationMode
+from repro.pdbfmt import write_pdb
+from repro.workloads.stack import UNUSED_MEMBERS, USED_MEMBERS, compile_stack
+from repro.workloads.synth import SynthSpec, compile_synth
+
+
+def measure(mode):
+    t0 = time.perf_counter()
+    tree = compile_stack(mode)
+    elapsed = time.perf_counter() - t0
+    doc = analyze(tree)
+    return {
+        "tree": tree,
+        "elapsed": elapsed,
+        "il_nodes": tree.node_count(),
+        "defined_bodies": sum(1 for r in tree.all_routines if r.defined),
+        "pdb_bytes": len(write_pdb(doc)),
+        "pdb_items": len(doc.items),
+    }
+
+
+@pytest.fixture(scope="module")
+def used():
+    return measure(InstantiationMode.USED)
+
+
+@pytest.fixture(scope="module")
+def all_mode():
+    return measure(InstantiationMode.ALL)
+
+
+def test_e10_used_benchmark(benchmark):
+    tree = benchmark(compile_stack, InstantiationMode.USED)
+    assert tree.find_routine("main")
+
+
+def test_e10_all_benchmark(benchmark):
+    tree = benchmark(compile_stack, InstantiationMode.ALL)
+    assert tree.find_routine("main")
+
+
+def test_e10_print_table(used, all_mode):
+    print("\n--- regenerated §2 comparison: USED vs ALL instantiation ---")
+    print(f"{'metric':<18} {'USED':>10} {'ALL':>10} {'ratio':>8}")
+    for key in ("il_nodes", "defined_bodies", "pdb_bytes", "pdb_items"):
+        u, a = used[key], all_mode[key]
+        print(f"{key:<18} {u:>10} {a:>10} {u / a:>8.2f}")
+    assert True
+
+
+def test_e10_il_strictly_smaller(used, all_mode):
+    assert used["il_nodes"] < all_mode["il_nodes"]
+    assert used["defined_bodies"] < all_mode["defined_bodies"]
+    assert used["pdb_bytes"] < all_mode["pdb_bytes"]
+
+
+def test_e10_used_members_present_in_both(used, all_mode):
+    for data in (used, all_mode):
+        cls = data["tree"].find_class("Stack<int>")
+        for name in USED_MEMBERS:
+            r = next(x for x in cls.routines if x.name == name)
+            assert r.defined
+
+
+def test_e10_unused_members_only_in_all(used, all_mode):
+    used_cls = used["tree"].find_class("Stack<int>")
+    all_cls = all_mode["tree"].find_class("Stack<int>")
+    for name in UNUSED_MEMBERS:
+        assert not next(r for r in used_cls.routines if r.name == name).defined
+        assert next(r for r in all_cls.routines if r.name == name).defined
+
+
+def test_e10_declarations_identical(used, all_mode):
+    """Used mode still *declares* every member — the saving is bodies."""
+    used_cls = used["tree"].find_class("Stack<int>")
+    all_cls = all_mode["tree"].find_class("Stack<int>")
+    assert {r.name for r in used_cls.routines} == {r.name for r in all_cls.routines}
+    assert [f.name for f in used_cls.fields] == [f.name for f in all_cls.fields]
+
+
+def test_e10_savings_grow_with_unused_members():
+    """Sweep: the more members a template has that main never touches,
+    the bigger used-mode's saving."""
+    ratios = []
+    for extra in (0, 4, 8):
+        header = ["int helper(int x) { return x; }",
+                  "template <class T>", "class Wide {", "public:",
+                  "    T used_one() { return 0; }"]
+        for i in range(extra):
+            # unused bodies carry call subtrees, so ALL mode pays for them
+            header.append(
+                f"    T unused_{i}() {{ return helper({i}) + helper({i}); }}"
+            )
+        header += ["};", "int main() { Wide<int> w; return w.used_one(); }"]
+        src = "\n".join(header)
+        from tests.util import compile_source
+
+        u = compile_source(src, mode=InstantiationMode.USED).node_count()
+        a = compile_source(src, mode=InstantiationMode.ALL).node_count()
+        ratios.append(u / a)
+    print(f"\nused/all IL-size ratios as unused members grow: {ratios}")
+    assert ratios == sorted(ratios, reverse=True)
+    assert ratios[-1] < ratios[0]
+
+
+def test_e10_engine_stats():
+    from repro.workloads.stack import stack_frontend
+
+    fe = stack_frontend(InstantiationMode.USED)
+    fe.compile("TestStackAr.cpp")
+    stats = fe.last_engine.stats
+    assert stats["class_instantiations"] >= 2  # Stack<int>, vector<int>
+    assert stats["routine_bodies_instantiated"] >= len(USED_MEMBERS)

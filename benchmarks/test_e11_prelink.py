@@ -1,0 +1,125 @@
+"""E11 — Section 2: the EDG automatic (prelinker) instantiation scheme.
+
+"Compiling source files generates object files and template information
+files indicating potential instantiations.  At link time ...
+instantiations are assigned to instantiation request files.  The source
+files needed for instantiation are then re-compiled.  These steps
+continue until all templates are instantiated.  Unfortunately, this
+process does not record and instantiate templates in the IL, where
+information is accessible by an analysis tool."
+
+Regenerated: the closure loop's convergence record on multi-TU corpora,
+and the headline comparison — IL-visible instantiations under the
+automatic scheme (zero) versus used mode (everything PDT needs).
+"""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.cpp import Frontend, FrontendOptions
+from repro.cpp.instantiate import InstantiationMode
+from repro.cpp.prelink import PrelinkSimulator
+from repro.workloads.synth import SynthSpec, generate
+
+
+def corpus(n_tus=3, n_templates=4):
+    return generate(
+        SynthSpec(
+            n_plain_classes=1,
+            n_templates=n_templates,
+            instantiations_per_template=2,
+            n_translation_units=n_tus,
+            call_depth=3,
+        )
+    )
+
+
+def prelink_frontend(files):
+    fe = Frontend(FrontendOptions(instantiation_mode=InstantiationMode.PRELINK))
+    fe.register_files(files)
+    return fe
+
+
+def used_frontend(files):
+    fe = Frontend(FrontendOptions(instantiation_mode=InstantiationMode.USED))
+    fe.register_files(files)
+    return fe
+
+
+@pytest.fixture(scope="module")
+def result():
+    c = corpus()
+    sim = PrelinkSimulator(prelink_frontend(c.files))
+    return sim.run(c.main_files), c
+
+
+def test_e11_prelink_benchmark(benchmark):
+    c = corpus()
+
+    def run():
+        return PrelinkSimulator(prelink_frontend(c.files)).run(c.main_files)
+
+    res = benchmark(run)
+    assert res.total_instantiations > 0
+
+
+def test_e11_print_convergence(result):
+    res, _ = result
+    print("\n--- regenerated §2: prelinker closure loop ---")
+    print(f"{'round':>6} {'requests assigned':>18} {'recompiled TUs':>15}")
+    for r in res.rounds:
+        print(f"{r.round_no:>6} {r.new_requests:>18} {', '.join(r.recompiled):>15}")
+    print(f"total instantiations: {res.total_instantiations}, "
+          f"recompiles: {res.total_recompiles}")
+    assert res.rounds
+
+
+def test_e11_converges(result):
+    res, c = result
+    assert 1 <= res.iterations <= 10
+    assert res.total_instantiations >= c.expected_class_instantiations
+
+
+def test_e11_il_is_empty_of_instantiations(result):
+    """The paper's point, measured."""
+    res, _ = result
+    assert res.il_instantiation_count() == 0
+
+
+def test_e11_used_mode_il_is_populated():
+    c = corpus()
+    fe = used_frontend(c.files)
+    visible = 0
+    for f in c.main_files:
+        tree = fe.compile(f)
+        visible += sum(
+            1
+            for x in tree.all_classes
+            if x.is_instantiation and x.flags.get("il_visible", True)
+        )
+    assert visible >= c.expected_class_instantiations
+
+
+def test_e11_pdb_comparison():
+    """End to end: the PDB an analysis tool sees."""
+    c = corpus(n_tus=1)
+    pre_tree = prelink_frontend(c.files).compile(c.main_files[0])
+    used_tree = used_frontend(c.files).compile(c.main_files[0])
+    pre_doc = analyze(pre_tree)
+    used_doc = analyze(used_tree)
+    pre_instantiated = [i for i in pre_doc.by_prefix("cl") if "<" in i.name]
+    used_instantiated = [i for i in used_doc.by_prefix("cl") if "<" in i.name]
+    print(f"\nPDB class instantiations: prelink={len(pre_instantiated)}, "
+          f"used={len(used_instantiated)}")
+    assert not pre_instantiated
+    assert used_instantiated
+
+
+def test_e11_recompile_cost_grows_with_tus():
+    recompiles = {}
+    for k in (1, 2, 4):
+        c = corpus(n_tus=k)
+        res = PrelinkSimulator(prelink_frontend(c.files)).run(c.main_files)
+        recompiles[k] = res.total_recompiles
+    print(f"\nprelinker recompiles by TU count: {recompiles}")
+    assert recompiles[4] >= recompiles[1]

@@ -1,0 +1,113 @@
+"""E12 — pipeline throughput scaling.
+
+Not a paper table (the paper reports no performance numbers for PDT
+itself), but the production-quality claim implies the pipeline must
+scale: front-end + analyzer throughput versus corpus size, PDB
+read/write round-trip throughput, and DUCTAPE load cost.
+"""
+
+import time
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.cpp import Frontend, FrontendOptions
+from repro.ductape.pdb import PDB
+from repro.pdbfmt import parse_pdb, write_pdb
+from repro.workloads.synth import SynthSpec, generate
+
+SIZES = [4, 16, 48]
+
+
+def compile_spec(n: int):
+    spec = SynthSpec(
+        n_plain_classes=n,
+        methods_per_class=4,
+        n_templates=max(1, n // 4),
+        instantiations_per_template=2,
+    )
+    corpus = generate(spec)
+    fe = Frontend(FrontendOptions())
+    fe.register_files(corpus.files)
+    tree = fe.compile(corpus.main_files[0])
+    return tree, corpus
+
+
+def test_e12_frontend_benchmark_small(benchmark):
+    corpus = generate(SynthSpec(n_plain_classes=4))
+    fe = Frontend(FrontendOptions())
+    fe.register_files(corpus.files)
+    tree = benchmark(fe.compile, corpus.main_files[0])
+    assert tree.all_classes
+
+
+def test_e12_frontend_benchmark_large(benchmark):
+    corpus = generate(SynthSpec(n_plain_classes=48, n_templates=12))
+    fe = Frontend(FrontendOptions())
+    fe.register_files(corpus.files)
+    tree = benchmark(fe.compile, corpus.main_files[0])
+    assert tree.all_classes
+
+
+def test_e12_analyzer_benchmark(benchmark):
+    tree, _ = compile_spec(16)
+    doc = benchmark(analyze, tree)
+    assert doc.items
+
+
+def test_e12_pdb_write_benchmark(benchmark):
+    tree, _ = compile_spec(16)
+    doc = analyze(tree)
+    text = benchmark(write_pdb, doc)
+    assert text
+
+
+def test_e12_pdb_parse_benchmark(benchmark):
+    tree, _ = compile_spec(16)
+    text = write_pdb(analyze(tree))
+    doc = benchmark(parse_pdb, text)
+    assert doc.items
+
+
+def test_e12_ductape_load_benchmark(benchmark):
+    tree, _ = compile_spec(16)
+    text = write_pdb(analyze(tree))
+    pdb = benchmark(PDB.from_text, text)
+    assert pdb.getRoutineVec()
+
+
+def test_e12_throughput_table():
+    """The regenerated scaling series (run with -s)."""
+    print("\n--- pipeline throughput vs corpus size ---")
+    print(f"{'classes':>8} {'corpus LoC':>11} {'frontend s':>11} "
+          f"{'LoC/s':>9} {'PDB items':>10} {'items/s':>9}")
+    rows = []
+    for n in SIZES:
+        spec = SynthSpec(
+            n_plain_classes=n, n_templates=max(1, n // 4),
+            instantiations_per_template=2,
+        )
+        corpus = generate(spec)
+        fe = Frontend(FrontendOptions())
+        fe.register_files(corpus.files)
+        t0 = time.perf_counter()
+        tree = fe.compile(corpus.main_files[0])
+        t_fe = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        doc = analyze(tree)
+        t_an = time.perf_counter() - t0
+        loc_rate = corpus.total_lines / t_fe
+        item_rate = len(doc.items) / max(t_an, 1e-9)
+        rows.append((n, corpus.total_lines, t_fe, loc_rate, len(doc.items), item_rate))
+        print(f"{n:>8} {corpus.total_lines:>11} {t_fe:>11.3f} "
+              f"{loc_rate:>9.0f} {len(doc.items):>10} {item_rate:>9.0f}")
+    # sanity: bigger corpora produce proportionally more items
+    assert rows[-1][4] > rows[0][4] * 3
+    # throughput does not collapse: large corpus stays within 20x of small
+    assert rows[-1][3] > rows[0][3] / 20
+
+
+def test_e12_roundtrip_fixpoint_large():
+    tree, _ = compile_spec(32)
+    text = write_pdb(analyze(tree))
+    assert write_pdb(parse_pdb(text)) == text

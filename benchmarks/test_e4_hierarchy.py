@@ -1,0 +1,132 @@
+"""E4 — Figures 2 & 4: the PDT architecture and DUCTAPE hierarchy.
+
+Figure 2's architecture is asserted structurally: each pipeline stage
+consumes exactly the previous stage's output (front end -> IL ->
+analyzer -> PDB -> DUCTAPE -> applications), with no stage reaching
+around another.  Figure 4's DUCTAPE class hierarchy is asserted as the
+exact inheritance tree.
+"""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.cpp.il import ILTree
+from repro.ductape import (
+    PDB,
+    PdbClass,
+    PdbFile,
+    PdbItem,
+    PdbMacro,
+    PdbNamespace,
+    PdbRoutine,
+    PdbSimpleItem,
+    PdbTemplate,
+    PdbTemplateItem,
+    PdbType,
+)
+from repro.ductape.items import PdbFatItem
+from repro.pdbfmt.items import PdbDocument
+from tests.util import compile_source
+
+#: Figure 4, as (class, direct base) edges
+FIGURE4_EDGES = [
+    (PdbFile, PdbSimpleItem),
+    (PdbItem, PdbSimpleItem),
+    (PdbMacro, PdbItem),
+    (PdbType, PdbItem),
+    (PdbFatItem, PdbItem),
+    (PdbTemplate, PdbFatItem),
+    (PdbNamespace, PdbFatItem),
+    (PdbTemplateItem, PdbFatItem),
+    (PdbClass, PdbTemplateItem),
+    (PdbRoutine, PdbTemplateItem),
+]
+
+
+@pytest.mark.parametrize("cls,base", FIGURE4_EDGES, ids=lambda c: getattr(c, "__name__", str(c)))
+def test_e4_figure4_edge(cls, base):
+    assert cls.__bases__ == (base,), (
+        f"{cls.__name__} must derive directly (and only) from {base.__name__}"
+    )
+
+
+def test_e4_hierarchy_is_exactly_figure4(benchmark):
+    """No extra classes sneak into the item hierarchy."""
+
+    def leaves():
+        out = set()
+        stack = [PdbSimpleItem]
+        while stack:
+            c = stack.pop()
+            out.add(c)
+            stack.extend(c.__subclasses__())
+        return out
+
+    classes = benchmark(leaves)
+    names = {c.__name__ for c in classes}
+    assert names == {
+        "PdbSimpleItem", "PdbFile", "PdbItem", "PdbMacro", "PdbType",
+        "PdbFatItem", "PdbTemplate", "PdbNamespace", "PdbTemplateItem",
+        "PdbClass", "PdbRoutine",
+    }
+
+
+def test_e4_pipeline_stage_types():
+    """Figure 2: source -> (front end) -> IL -> (IL analyzer) -> PDB
+    -> (DUCTAPE) -> applications."""
+    tree = compile_source("int main() { return 0; }")
+    assert isinstance(tree, ILTree)  # front end output
+    doc = analyze(tree)
+    assert isinstance(doc, PdbDocument)  # analyzer output
+    pdb = PDB(doc)
+    assert isinstance(pdb.items()[0], PdbSimpleItem)  # DUCTAPE objects
+
+
+def test_e4_ductape_reads_pdb_text_not_il():
+    """DUCTAPE is an API over PDB *files*: a PDB round-tripped through
+    text behaves identically (proving no hidden IL dependence)."""
+    tree = compile_source(
+        "class C { public: int m() { return helper(); } int helper() { return 1; } };\n"
+        "int main() { C c; return c.m(); }"
+    )
+    direct = PDB(analyze(tree))
+    via_text = PDB.from_text(direct.to_text())
+    assert [i.fullName() for i in direct.items()] == [
+        i.fullName() for i in via_text.items()
+    ]
+    m1 = direct.findRoutine("C::m")
+    m2 = via_text.findRoutine("C::m")
+    assert [c.call().name() for c in m1.callees()] == [
+        c.call().name() for c in m2.callees()
+    ]
+
+
+def test_e4_analyzer_separate_traversals():
+    """Section 3.1: separate traversals allow selection of the
+    constructs to be reported."""
+    from repro.analyzer import ILAnalyzer
+
+    tree = compile_source(
+        "#define M 1\nnamespace n { class C { public: void f() { } }; }\n"
+        "template <class T> T id2(T x) { return x; }\n"
+        "int main() { n::C c; c.f(); return id2(M); }"
+    )
+    all_prefixes = {"so", "te", "na", "cl", "ro", "ty", "ma"}
+    for selected in (("so",), ("so", "ro"), ("so", "te", "ma")):
+        doc = ILAnalyzer(tree, passes=selected).run()
+        present = {i.prefix for i in doc.items}
+        # demand-created reference targets may add 'ty'/'cl'/'te' items,
+        # but never passes that were deselected *and* unreferenced
+        for p in all_prefixes - set(selected) - {"ty", "cl", "te", "so"}:
+            assert p not in present, f"pass {p} ran though deselected"
+
+
+def test_e4_applications_consume_ductape_only(stack_pdb):
+    """TAU and SILOON operate on the PDB through DUCTAPE (Figure 2's
+    right half): both run from a text-round-tripped PDB."""
+    from repro.siloon.generator import generate_bindings
+    from repro.tau.selector import select_instrumentation
+
+    fresh = PDB.from_text(stack_pdb.to_text())
+    assert select_instrumentation(fresh)
+    assert generate_bindings(fresh).classes

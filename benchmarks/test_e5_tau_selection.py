@@ -1,0 +1,154 @@
+"""E5 — Figure 6: the TAU instrumentor's template selection.
+
+Reproduces the Figure 6 loop's observable behaviour on a corpus with all
+three function-template kinds, checks the CT(*this) decision per kind,
+verifies the rewritten sources re-compile with identical call graphs,
+and confirms the Section 4.1 headline: per-instantiation timer names via
+run-time type information.
+"""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.cpp import Frontend, FrontendOptions
+from repro.ductape.items import PdbTemplate
+from repro.ductape.pdb import PDB
+from repro.tau.instrumentor import TAU_H, instrument_sources
+from repro.tau.selector import select_instrumentation
+from repro.tau.simulate import ExecutionSimulator, TauNaming, WorkloadSpec
+from tests.util import compile_source
+
+FIG6_SRC = """\
+template <class T>
+class Matrix {
+public:
+    Matrix() : n_(0) { }
+    T trace() const;
+    static int registry();
+private:
+    int n_;
+};
+
+template <class T>
+T Matrix<T>::trace() const { return 0; }
+
+template <class T>
+int Matrix<T>::registry() { return 0; }
+
+template <class T>
+T norm(const T& x) { return x; }
+
+int plain_function() { return 7; }
+
+int main() {
+    Matrix<double> md;
+    Matrix<int> mi;
+    md.trace();
+    mi.trace();
+    Matrix<double>::registry();
+    norm(3.5);
+    return plain_function();
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def pdb():
+    return PDB(analyze(compile_source(FIG6_SRC)))
+
+
+@pytest.fixture(scope="module")
+def points(pdb):
+    return select_instrumentation(pdb)
+
+
+def test_e5_selection_benchmark(pdb, benchmark):
+    pts = benchmark(select_instrumentation, pdb)
+    assert pts
+
+
+def test_e5_nonfunction_templates_filtered(points):
+    """Figure 6 (2): class templates are filtered out."""
+    for p in points:
+        if isinstance(p.item, PdbTemplate):
+            assert p.item.kind() != PdbTemplate.TE_CLASS
+
+
+def test_e5_memfunc_gets_ct(points):
+    """Figure 6 (3) else-branch: member functions get CT(*this)."""
+    trace = next(p for p in points if "trace" in p.timer_name())
+    assert trace.needs_ct
+    assert trace.type_argument() == "CT(*this)"
+
+
+def test_e5_statmem_no_ct(points):
+    """Figure 6 (3): static members get no CT(*this)."""
+    registry = next(p for p in points if "registry" in p.timer_name())
+    assert not registry.needs_ct
+
+
+def test_e5_func_template_no_ct(points):
+    norm = next(p for p in points if "norm" in p.timer_name())
+    assert not norm.needs_ct
+
+
+def test_e5_points_sorted_by_location(points):
+    """Figure 6's final sort(itemvec, locCmp)."""
+    keys = [(p.file_name, p.line, p.column) for p in points]
+    assert keys == sorted(keys)
+
+
+def test_e5_rewritten_source_compiles(benchmark):
+    """The translated source 'can subsequently be compiled' (4.1)."""
+    tree = compile_source(FIG6_SRC)
+    pdb = PDB(analyze(tree))
+    sources = {"main.cpp": FIG6_SRC}
+
+    def rewrite_and_recompile():
+        results = instrument_sources(pdb, sources)
+        fe = Frontend(FrontendOptions())
+        fe.register_files({"main.cpp": results["main.cpp"].text, "TAU.h": TAU_H})
+        return fe.compile("main.cpp"), results
+
+    tree2, results = benchmark(rewrite_and_recompile)
+    assert results["main.cpp"].insertions
+    # the instrumented call graph is unchanged
+    before = {c.callee.full_name for c in tree.find_routine("main").calls}
+    after = {c.callee.full_name for c in tree2.find_routine("main").calls}
+    assert before == after
+
+
+def test_e5_macro_text_shape():
+    tree = compile_source(FIG6_SRC)
+    pdb = PDB(analyze(tree))
+    res = instrument_sources(pdb, {"main.cpp": FIG6_SRC})["main.cpp"]
+    ct_lines = [l for l in res.text.splitlines() if "CT(*this)" in l]
+    assert ct_lines, "member function templates must carry CT(*this)"
+    for line in ct_lines:
+        assert "TAU_PROFILE(" in line
+    static_lines = [
+        l for l in res.text.splitlines()
+        if "TAU_PROFILE(" in l and "CT(*this)" not in l
+    ]
+    assert static_lines, "non-member entities use static names"
+
+
+def test_e5_unique_names_per_instantiation(pdb, points):
+    """Section 4.1: 'The unique instantiation of the class can therefore
+    be incorporated in the name of an instantiated template.'"""
+    naming = TauNaming(points)
+    traces = [r for r in pdb.getRoutineVec() if r.name() == "trace"]
+    names = sorted(filter(None, (naming.timer_for(r) for r in traces)))
+    assert len(names) == len(set(names)) == 2
+    assert any("Matrix<double>" in n for n in names)
+    assert any("Matrix<int>" in n for n in names)
+
+
+def test_e5_simulated_profile_distinguishes_instantiations(pdb, points):
+    profiler = ExecutionSimulator(
+        pdb, WorkloadSpec(), namer=TauNaming(points).timer_for
+    ).run()
+    timers = profiler.profile(0).timers
+    ct_names = [n for n in timers if "[CT = " in n]
+    assert any("Matrix<double>" in n for n in ct_names)
+    assert any("Matrix<int>" in n for n in ct_names)

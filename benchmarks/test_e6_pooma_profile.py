@@ -1,0 +1,197 @@
+"""E6 — Figure 7: TAU profiles of POOMA's Krylov solver.
+
+The paper shows TAU displays of "time spent in POOMA's Krylov Solver
+routines that were generated with TAU automatic instrumentation".  We
+instrument the mini-POOMA corpus through the full PDT pipeline, simulate
+a preconditioned CG solve on an N×N grid for K iterations on several
+nodes, and regenerate the mean and per-node pprof displays.
+
+Shape assertions (the reproduction target — absolute numbers are the
+cost model's, see DESIGN.md):
+
+* the matvec (``StencilMatrix::apply``) dominates exclusive time among
+  solver kernels — the expected shape for stencil CG,
+* dot/axpy-family kernels come next, preconditioner after,
+* per-iteration call counts match CG's algebra (1 matvec, 2 dots,
+  2+ axpys per iteration),
+* solver-class timer names carry the full instantiation (the templates
+  point of Section 4.1),
+* inclusive time of ``solve`` accounts for ~all of ``run_cg``.
+"""
+
+import pytest
+
+from repro.tau.machine import CostModel, linear_skew
+from repro.tau.profile import (
+    exclusive_ranking,
+    format_mean_profile,
+    format_profile,
+)
+from repro.tau.selector import select_instrumentation
+from repro.tau.simulate import ExecutionSimulator, TauNaming, WorkloadSpec
+
+GRID = 32  # N x N grid
+N = GRID * GRID
+ITERS = 50  # CG iterations
+NODES = 4
+
+CG_SOLVE = "pooma::CGSolver<double, pooma::StencilMatrix<double>, pooma::DiagonalPreconditioner<double>>::solve"
+
+
+def krylov_cost_model() -> CostModel:
+    """Per-invocation work, proportional to touched elements."""
+    cm = CostModel(default_cycles=5.0, node_skew=linear_skew(NODES, 0.2))
+    # 5-point stencil: ~10 flops per grid point (5 loads+mults, 4 adds)
+    cm.add(r"StencilMatrix<double>::apply", 10.0 * N)
+    cm.add(r"DiagonalPreconditioner<double>::apply", 1.0 * N)
+    cm.add(r"pooma::dot", 2.0 * N)
+    cm.add(r"pooma::axpy", 2.0 * N)
+    cm.add(r"pooma::xpay", 2.0 * N)
+    cm.add(r"pooma::copy", 1.0 * N)
+    cm.add(r"pooma::norm2", 10.0)
+    cm.add(r"pooma::sqroot", 40.0)
+    cm.add(r"Vector<double>::(Vector|~Vector|fill)", 1.0 * N)
+    cm.add(r"solve", 50.0)
+    return cm
+
+
+def _solver_loop_lines() -> set[int]:
+    """Line numbers (in Krylov.h) of the CG iteration loop body — every
+    call site in this range executes once per iteration."""
+    from repro.workloads.pooma import KRYLOV_H
+
+    lines = KRYLOV_H.splitlines()
+    start = next(i for i, l in enumerate(lines, 1) if "for ( iterations_" in l)
+    end = next(
+        i for i, l in enumerate(lines, 1)
+        if i > start and "return iterations_" in l
+    )
+    return set(range(start + 1, end))
+
+
+def krylov_workload() -> WorkloadSpec:
+    """Trip counts: call sites inside the solve loop run ITERS times;
+    everything else (initial residual, setup) runs once."""
+    sites = {
+        (CG_SOLVE, "Krylov.h", line): ITERS for line in _solver_loop_lines()
+    }
+    pair = {
+        # run only the CG side of main on every node
+        ("main", "run_bicgstab"): 0,
+        ("main", "run_expressions"): 0,
+    }
+    return WorkloadSpec(
+        entry="main",
+        nodes=NODES,
+        cost=krylov_cost_model(),
+        site_counts=sites,
+        pair_counts=pair,
+    )
+
+
+@pytest.fixture(scope="module")
+def profiler(pooma_pdb):
+    points = select_instrumentation(pooma_pdb)
+    sim = ExecutionSimulator(
+        pooma_pdb, krylov_workload(), namer=TauNaming(points).timer_for
+    )
+    return sim.run()
+
+
+def test_e6_simulation_benchmark(pooma_pdb, benchmark):
+    points = select_instrumentation(pooma_pdb)
+    sim = ExecutionSimulator(
+        pooma_pdb, krylov_workload(), namer=TauNaming(points).timer_for
+    )
+    profiler = benchmark(sim.run)
+    assert profiler.profiles
+
+
+def test_e6_emit_figure7(profiler):
+    """The regenerated Figure 7 displays (run with -s)."""
+    from repro.tau.profile import format_bars
+
+    print("\n--- regenerated Figure 7: mean profile over nodes ---")
+    print(format_mean_profile(profiler, top=12))
+    print("\n--- regenerated Figure 7: node 0 profile ---")
+    print(format_profile(profiler, node=0, top=12))
+    print("\n--- regenerated Figure 7: racy-style bar display ---")
+    print(format_bars(profiler, top=8))
+    assert len(profiler.profiles) == NODES
+
+
+def test_e6_bar_display(profiler):
+    from repro.tau.profile import format_bars
+
+    out = format_bars(profiler, top=5)
+    lines = out.splitlines()[2:]
+    assert len(lines) == 5
+    # the longest bar belongs to the top entry and hits full width
+    assert lines[0].count("#") == 50
+    widths = [l.count("#") for l in lines]
+    assert widths == sorted(widths, reverse=True)
+    assert "StencilMatrix::apply" in lines[0]
+
+
+def test_e6_matvec_dominates(profiler):
+    """Who wins: the stencil matvec has the largest exclusive time."""
+    ranking = exclusive_ranking(profiler)
+    top_kernels = [name for name, _ in ranking[:3]]
+    assert any("StencilMatrix::apply" in n for n in top_kernels[:1]), ranking[:3]
+
+
+def test_e6_kernel_ordering(profiler):
+    """By roughly what factor: matvec ~ 5N/iter, dot-family ~ 4N/iter,
+    axpy-family ~ 6N/iter, precond ~ N/iter."""
+    stats = profiler.mean_stats()
+
+    def excl(frag):
+        return sum(t.exclusive for n, t in stats.items() if frag in n)
+
+    matvec = excl("StencilMatrix::apply")
+    dots = excl("dot(")
+    precond = excl("DiagonalPreconditioner::apply")
+    assert matvec > dots > precond
+    # factors: matvec/precond = 10 flops vs 1 per point per iteration
+    assert 6.0 < matvec / precond < 14.0
+
+
+def test_e6_call_counts_match_cg_algebra(profiler):
+    stats = profiler.mean_stats()
+    apply_calls = sum(
+        t.calls for n, t in stats.items() if "StencilMatrix::apply" in n
+    )
+    dot_calls = sum(t.calls for n, t in stats.items() if "dot(" in n)
+    # 1 matvec per iteration, +1 for the initial residual
+    assert apply_calls == ITERS + 1
+    # 2 dots per iteration in the loop, 1 inside norm2 per iteration,
+    # +1 for the initial rho
+    assert dot_calls == 3 * ITERS + 1
+
+
+def test_e6_instantiation_qualified_names(profiler):
+    names = profiler.all_timer_names()
+    assert any("CGSolver<double, pooma::StencilMatrix<double>" in n for n in names)
+    assert any("[CT = " in n for n in names)
+
+
+def test_e6_solve_inclusive_accounts_for_run(profiler):
+    stats = profiler.mean_stats()
+    solve = next(t for n, t in stats.items() if "solve" in n and "CGSolver" in n)
+    run_cg = next(t for n, t in stats.items() if n.startswith("run_cg"))
+    assert solve.inclusive > 0.9 * run_cg.inclusive
+    assert solve.inclusive <= run_cg.inclusive + 1e-6
+
+
+def test_e6_node_imbalance_visible(profiler):
+    times = [profiler.profile(n).total_time() for n in range(NODES)]
+    assert max(times) > min(times)
+    mean = profiler.mean_stats()
+    node0 = profiler.profile(0).timers
+    # the mean differs from node 0 (skew), same timer set
+    assert set(mean) == set(node0)
+
+
+def test_e6_profiles_internally_consistent(profiler):
+    for p in profiler.profiles.values():
+        p.check_consistency()

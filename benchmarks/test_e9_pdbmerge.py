@@ -1,0 +1,108 @@
+"""E9 — Section 3.3 / Table 2: pdbmerge eliminates duplicate template
+instantiations from separate compilations.
+
+Regenerates the merge workflow at scale: K translation units share a
+templated header and instantiate overlapping sets of templates; merging
+must collapse every duplicate instantiation while keeping each TU's own
+entities, and throughput should scale roughly linearly in input size.
+"""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.cpp import Frontend, FrontendOptions
+from repro.ductape.pdb import PDB
+from repro.tools.pdbconv import check_pdb
+from repro.tools.pdbmerge import merge_pdbs
+from repro.workloads.synth import SynthSpec, generate
+
+
+def make_pdbs(n_tus: int, n_templates: int = 3) -> list[PDB]:
+    spec = SynthSpec(
+        n_plain_classes=2,
+        n_templates=n_templates,
+        instantiations_per_template=2,
+        n_translation_units=n_tus,
+    )
+    corpus = generate(spec)
+    fe = Frontend(FrontendOptions())
+    fe.register_files(corpus.files)
+    return [PDB(analyze(fe.compile(f))) for f in corpus.main_files]
+
+
+@pytest.fixture(scope="module")
+def five_pdbs():
+    return make_pdbs(5)
+
+
+def _fresh(pdbs: list[PDB]) -> list[PDB]:
+    """Merge mutates its first argument: copy via text round trip."""
+    return [PDB.from_text(p.to_text()) for p in pdbs]
+
+
+def test_e9_merge_benchmark(five_pdbs, benchmark):
+    merged, stats = benchmark(lambda: merge_pdbs(_fresh(five_pdbs)))
+    assert stats
+
+
+def test_e9_duplicates_eliminated(five_pdbs):
+    merged, stats = merge_pdbs(_fresh(five_pdbs))
+    total_dupes = sum(s.duplicates_eliminated for s in stats)
+    assert total_dupes > 0
+    # every shared instantiation appears exactly once
+    names = [c.name() for c in merged.getClassVec()]
+    for name in set(names):
+        if "<" in name:
+            assert names.count(name) == 1, f"{name} duplicated after merge"
+
+
+def test_e9_dedup_ratio_table(five_pdbs):
+    """The regenerated merge report (run with -s)."""
+    merged, stats = merge_pdbs(_fresh(five_pdbs))
+    total_in = sum(len(p.items()) for p in five_pdbs)
+    print("\n--- pdbmerge dedup report (5 TUs sharing templates) ---")
+    print(f"{'TU':>4} {'items in':>9} {'added':>7} {'dupes':>7} {'dup instantiations':>19}")
+    for i, s in enumerate(stats, start=2):
+        print(f"{i:>4} {s.items_in:>9} {s.items_added:>7} {s.duplicates_eliminated:>7} "
+              f"{s.duplicate_instantiations:>19}")
+    ratio = len(merged.items()) / total_in
+    print(f"merged items: {len(merged.items())} / {total_in} = {ratio:.2f}")
+    assert ratio < 0.75  # heavy sharing collapses well
+
+
+def test_e9_per_tu_entities_survive(five_pdbs):
+    merged, _ = merge_pdbs(_fresh(five_pdbs))
+    names = {r.name() for r in merged.getRoutineVec()}
+    assert "main" in names
+    for tu in range(1, 5):
+        assert f"tu{tu}_entry" in names
+
+
+def test_e9_merged_references_valid(five_pdbs):
+    merged, _ = merge_pdbs(_fresh(five_pdbs))
+    assert check_pdb(merged) == []
+    # navigation still works across remapped references
+    main = merged.findRoutine("main")
+    assert main.callees()
+
+
+def test_e9_merge_scaling():
+    """Merged size grows sub-linearly in TU count (shared templates)."""
+    sizes = {}
+    for k in (2, 4, 8):
+        merged, _ = merge_pdbs(_fresh(make_pdbs(k)))
+        sizes[k] = len(merged.items())
+    print(f"\nmerged sizes by TU count: {sizes}")
+    # doubling TUs must NOT double the merged PDB
+    assert sizes[8] < 2 * sizes[4]
+    assert sizes[4] < 2 * sizes[2]
+
+
+def test_e9_order_insensitive_content():
+    """Merging in a different order yields the same entity set."""
+    pdbs = make_pdbs(3)
+    m1, _ = merge_pdbs(_fresh(pdbs))
+    m2, _ = merge_pdbs(_fresh(pdbs[::-1]))
+    names1 = sorted(i.fullName() for i in m1.items())
+    names2 = sorted(i.fullName() for i in m2.items())
+    assert names1 == names2

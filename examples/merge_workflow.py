@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Multi-TU workflow: separate compilations, pdbmerge, pdbhtml.
+
+Compiles three translation units that share a templated container
+header, merges their PDBs (eliminating duplicate template
+instantiations, paper Table 2), and generates the HTML documentation
+tree for the merged database.
+
+Run:  python examples/merge_workflow.py [output-dir]
+"""
+
+import sys
+import tempfile
+
+from repro import Frontend, FrontendOptions
+from repro.analyzer import analyze
+from repro.ductape.pdb import PDB
+from repro.tools.pdbhtml import generate_html
+from repro.tools.pdbmerge import merge_pdbs
+
+RING_H = """\
+#ifndef RING_H
+#define RING_H
+
+template <class T>
+class Ring {
+public:
+    Ring() : head_(0), size_(0) { }
+    void put(const T& x) { size_ = size_ + 1; }
+    T take() { size_ = size_ - 1; return 0; }
+    int size() const { return size_; }
+private:
+    int head_;
+    int size_;
+};
+
+#endif
+"""
+
+TUS = {
+    "producer.cpp": (
+        '#include "ring.h"\n'
+        "int produce() { Ring<int> r; r.put(1); r.put(2); return r.size(); }\n"
+    ),
+    "consumer.cpp": (
+        '#include "ring.h"\n'
+        "int consume() { Ring<int> r; return r.take(); }\n"
+    ),
+    "metrics.cpp": (
+        '#include "ring.h"\n'
+        "double observe() { Ring<double> r; r.put(1.5); return r.take(); }\n"
+    ),
+}
+
+
+def main() -> None:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else tempfile.mkdtemp(prefix="pdbhtml-")
+
+    fe = Frontend(FrontendOptions())
+    fe.register_files({"ring.h": RING_H, **TUS})
+
+    pdbs = []
+    for tu in TUS:
+        pdb = PDB(analyze(fe.compile(tu)))
+        print(f"compiled {tu}: {len(pdb.items())} PDB items")
+        pdbs.append(pdb)
+
+    merged, stats = merge_pdbs(pdbs)
+    for tu, st in zip(list(TUS)[1:], stats):
+        print(
+            f"merged {tu}: +{st.items_added} items, "
+            f"{st.duplicates_eliminated} duplicates eliminated "
+            f"({st.duplicate_instantiations} template instantiations)"
+        )
+    print(f"merged database: {len(merged.items())} items")
+
+    rings = [c.fullName() for c in merged.getClassVec() if c.name().startswith("Ring")]
+    print(f"Ring instantiations after merge: {sorted(set(rings))} "
+          f"({len(rings)} class items — duplicates collapsed)")
+
+    pages = generate_html(merged, out_dir)
+    print(f"\nwrote {len(pages)} HTML pages to {out_dir}/ (open index.html)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: compile C++ source to a PDB and navigate it with DUCTAPE.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PDB, Frontend, FrontendOptions, analyze
+
+SOURCE = """\
+#include "shapes.h"
+
+int main() {
+    Circle c(2.0);
+    Square s(3.0);
+    Shape* shapes[2];
+    shapes[0] = &c;
+    shapes[1] = &s;
+    double total = c.area() + s.area();
+    report(total);
+    return 0;
+}
+"""
+
+SHAPES_H = """\
+#ifndef SHAPES_H
+#define SHAPES_H
+
+class Shape {
+public:
+    virtual ~Shape() { }
+    virtual double area() const = 0;
+};
+
+class Circle : public Shape {
+public:
+    explicit Circle(double r) : radius_(r) { }
+    double area() const { return 3.14159 * radius_ * radius_; }
+private:
+    double radius_;
+};
+
+class Square : public Shape {
+public:
+    explicit Square(double side) : side_(side) { }
+    double area() const { return side_ * side_; }
+private:
+    double side_;
+};
+
+void report(double value);
+
+#endif
+"""
+
+
+def main() -> None:
+    # 1. Compile: the front end produces the IL, the analyzer the PDB.
+    frontend = Frontend(FrontendOptions())
+    frontend.register_files({"main.cpp": SOURCE, "shapes.h": SHAPES_H})
+    tree = frontend.compile("main.cpp")
+    pdb = PDB(analyze(tree))
+
+    # 2. The compact PDB format (paper Figure 3's format).
+    print("=== PDB text (first 25 lines) ===")
+    print("\n".join(pdb.to_text().splitlines()[:25]))
+
+    # 3. Navigate with DUCTAPE.
+    print("\n=== classes ===")
+    for cls in pdb.getClassVec():
+        bases = ", ".join(b.name() for _, _, b in cls.baseClasses()) or "-"
+        print(f"  {cls.fullName():<10} kind={cls.kind():<7} bases: {bases}")
+
+    print("\n=== main's static calls ===")
+    main_r = pdb.findRoutine("main")
+    for call in main_r.callees():
+        tag = " (VIRTUAL)" if call.isVirtual() else ""
+        print(f"  {call.call().fullName()}{tag}  at {call.location()}")
+
+    print("\n=== class hierarchy ===")
+    print(pdb.getClassHierarchy().render())
+
+
+if __name__ == "__main__":
+    main()

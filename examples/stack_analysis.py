@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""The paper's Stack walkthrough (Figures 1, 3, and 5).
+
+Compiles the templated Stack corpus of paper Figure 1 with used-mode
+instantiation, prints the PDB excerpts Figure 3 shows, and renders the
+pdbtree displays (inclusion tree + Figure 5's call graph).
+
+Run:  python examples/stack_analysis.py
+"""
+
+from repro.analyzer import analyze
+from repro.ductape.pdb import PDB
+from repro.tools.pdbtree import render_call_tree, render_inclusion_tree
+from repro.workloads.stack import compile_stack
+
+
+def main() -> None:
+    tree = compile_stack()
+    pdb = PDB(analyze(tree))
+
+    print("=== templates (te items) ===")
+    for te in pdb.getTemplateVec():
+        loc = te.location()
+        print(f"  te#{te.id():<3} {te.fullName():<12} kind={te.kind():<8} at {loc}")
+
+    print("\n=== Stack<int>: the instantiated class (Figure 3's cl#8) ===")
+    cls = pdb.findClass("Stack<int>")
+    origin = cls.template()
+    print(f"  instantiated from template: {origin.fullName()} (te#{origin.id()})")
+    for r in cls.memberFunctions():
+        body = "instantiated" if r.bodyBegin().known else "declared only"
+        print(f"  {r.name():<12} {body:<15} rloc {r.location()}")
+    for m in cls.dataMembers():
+        print(f"  member {m.name():<12} {m.access():<5} {m.kind():<5} "
+              f"type={m.type().name() if m.type() else '?'}")
+
+    print("\n=== used-mode economy ===")
+    declared = len(cls.memberFunctions())
+    instantiated = sum(1 for r in cls.memberFunctions() if r.bodyBegin().known)
+    print(f"  {declared} members declared, {instantiated} bodies instantiated "
+          f"(top/pop/makeEmpty stay uninstantiated — nothing calls them)")
+
+    print("\n=== file inclusion tree ===")
+    print(render_inclusion_tree(pdb))
+
+    print("\n=== static call graph (pdbtree, Figure 5) ===")
+    print(render_call_tree(pdb, "main"))
+
+
+if __name__ == "__main__":
+    main()

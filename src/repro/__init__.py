@@ -1,0 +1,45 @@
+"""PDT-repro: the Program Database Toolkit (SC 2000), reproduced in Python.
+
+A tool framework for static and dynamic analysis of object-oriented
+software with templates.  The pipeline (paper Figure 2)::
+
+    C++ source --[Frontend]--> IL tree --[ILAnalyzer]--> PDB --[DUCTAPE]--> tools
+                                                                  |
+                                               TAU instrumentation / SILOON bindings
+
+Quickstart::
+
+    from repro import Frontend, FrontendOptions, PDB, analyze
+
+    fe = Frontend(FrontendOptions(include_paths=["include"]))
+    fe.register_files({"hello.cpp": "int main() { return 0; }"})
+    tree = fe.compile("hello.cpp")
+    pdb = PDB(analyze(tree))
+    print(pdb.to_text())
+
+Subpackages: :mod:`repro.cpp` (front end), :mod:`repro.analyzer` (IL
+Analyzer), :mod:`repro.pdbfmt` (PDB format), :mod:`repro.ductape` (API
+library), :mod:`repro.tools` (pdbconv/pdbhtml/pdbmerge/pdbtree),
+:mod:`repro.tau` (profiling), :mod:`repro.siloon` (script bindings),
+:mod:`repro.baselines`, :mod:`repro.workloads`.
+"""
+
+from repro.analyzer import ILAnalyzer, analyze
+from repro.cpp import Frontend, FrontendOptions, InstantiationMode
+from repro.ductape import PDB
+from repro.pdbfmt import PdbDocument, parse_pdb, write_pdb
+
+__version__ = "1.3.0"
+
+__all__ = [
+    "Frontend",
+    "FrontendOptions",
+    "ILAnalyzer",
+    "InstantiationMode",
+    "PDB",
+    "PdbDocument",
+    "analyze",
+    "parse_pdb",
+    "write_pdb",
+    "__version__",
+]

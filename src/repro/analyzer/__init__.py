@@ -1,0 +1,17 @@
+"""The IL Analyzer (paper Section 3.1).
+
+Walks the front end's IL tree and emits a PDB document: "it traverses
+the IL tree, reporting information on designated, high-level constructs
+as they are encountered.  Separate traversals for source files, routines,
+types, classes, namespaces, templates, and macros allow selection of the
+constructs to be reported."
+
+The template-provenance attributes (``rtempl``/``ctempl``) are computed
+by *location matching* (:mod:`repro.analyzer.templatematch`), not by
+reading the front end's ground-truth links — reproducing the paper's
+mechanism and its documented limitation for specializations.
+"""
+
+from repro.analyzer.ilanalyzer import ILAnalyzer, analyze
+
+__all__ = ["ILAnalyzer", "analyze"]

@@ -1,0 +1,17 @@
+"""IL Analyzer traversal passes — one module per construct kind."""
+
+from repro.analyzer.passes.classes_pass import emit_classes
+from repro.analyzer.passes.files_pass import emit_files
+from repro.analyzer.passes.macros_pass import emit_macros
+from repro.analyzer.passes.namespaces_pass import emit_namespaces
+from repro.analyzer.passes.routines_pass import emit_routines
+from repro.analyzer.passes.types_pass import emit_types
+
+__all__ = [
+    "emit_classes",
+    "emit_files",
+    "emit_macros",
+    "emit_namespaces",
+    "emit_routines",
+    "emit_types",
+]

@@ -1,0 +1,49 @@
+"""Class traversal: ``cl`` items.
+
+Per paper Table 1, a class reports: the template from which it was
+instantiated (``ctempl``, via location matching), parent scope, access
+mode, direct base classes, friend classes and functions, member
+functions (``cfunc`` with each function's location), and information on
+other members — access, kind, and type (``cmem`` groups, cf. the
+``theArray``/``topOfStack`` rows in paper Figure 3)."""
+
+from __future__ import annotations
+
+from repro.cpp.il import Access, TemplateKind
+
+
+def emit_classes(an) -> None:
+    for c in an.tree.all_classes:
+        if not an.visible(c):
+            continue
+        item = an.class_item(c)
+        item.add("cloc", *an.location_words(c.location))
+        item.add("ckind", c.kind.value)
+        if c.is_instantiation:
+            te = an.template_index.match(c.location)
+            if te is not None and te.kind in (TemplateKind.CLASS, TemplateKind.MEMBER_CLASS):
+                item.add("ctempl", an.template_item(te).ref)
+        if c.is_specialization:
+            item.add("cspecl", "yes")
+        an.parent_attrs(item, c, "cclass", "cnspace")
+        if c.access is not Access.NA:
+            item.add("cacs", c.access.value)
+        for base, access, virtual in c.bases:
+            item.add(
+                "cbase", access.value, "virt" if virtual else "no", an.class_item(base).ref
+            )
+        for fc in c.friend_classes:
+            item.add("cfriend", an.class_item(fc).ref)
+        for fr in c.friend_routines:
+            item.add("cfrfunc", an.routine_item(fr).ref)
+        for r in c.routines:
+            if an.visible(r):
+                item.add("cfunc", an.routine_item(r).ref, *an.location_words(r.location))
+        for f in c.fields:
+            item.add_text("cmem", f.name)
+            item.add("cmloc", *an.location_words(f.location))
+            item.add("cmacs", f.access.value)
+            kind = "mut" if f.is_mutable else f.member_kind
+            item.add("cmkind", kind)
+            item.add("cmtype", an.type_ref(f.type))
+        item.add("cpos", *an.pos_words(c.position))

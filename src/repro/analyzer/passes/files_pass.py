@@ -1,0 +1,14 @@
+"""Source-file traversal: ``so`` items with inclusion edges (``sinc``)."""
+
+from __future__ import annotations
+
+
+def emit_files(an) -> None:
+    for f in an.tree.files:
+        if f.name.startswith("<"):
+            continue  # synthetic pseudo-files
+        item = an.file_item(f)
+        for inc in f.includes:
+            item.add("sinc", an.file_item(inc).ref)
+        if f.system:
+            item.add("ssys", "yes")

@@ -1,0 +1,13 @@
+"""Macro traversal: ``ma`` items (kind, text, location — paper Table 1)."""
+
+from __future__ import annotations
+
+
+def emit_macros(an) -> None:
+    for rec in an.tree.macros:
+        if rec.location.file.name.startswith("<"):
+            continue  # predefined macros are not user constructs
+        item = an._new_item("ma", rec.name)
+        item.add("makind", rec.kind)
+        item.add("maloc", *an.location_words(rec.location))
+        item.add_text("matext", rec.text)

@@ -1,0 +1,29 @@
+"""Namespace traversal: ``na`` items with member lists and aliases."""
+
+from __future__ import annotations
+
+
+def emit_namespaces(an) -> None:
+    for ns in an.tree.all_namespaces:
+        item = an.namespace_item(ns)
+        item.add("nloc", *an.location_words(ns.location))
+        parent = ns.parent
+        if parent is not None and not parent.is_global:
+            item.add("nnspace", an.namespace_item(parent).ref)
+        for sub in ns.namespaces:
+            item.add("nmem", an.namespace_item(sub).ref)
+        for c in ns.classes:
+            if an.visible(c):
+                item.add("nmem", an.class_item(c).ref)
+        for r in ns.routines:
+            if an.visible(r):
+                item.add("nmem", an.routine_item(r).ref)
+        for te in ns.templates:
+            item.add("nmem", an.template_item(te).ref)
+        for e in ns.enums:
+            item.add("nmem", an.type_item(an.tree.types.enum_type(e)).ref)
+        for td in ns.typedefs:
+            item.add("nmem", an.type_item(an.tree.types.typedef_type(td)).ref)
+        for alias_name, target in ns.aliases.items():
+            item.add("nalias", an.namespace_item(target).ref, alias_name)
+        item.add("npos", *an.pos_words(ns.position))

@@ -1,0 +1,63 @@
+"""Routine traversal: ``ro`` items.
+
+Per paper Table 1: the template from which the routine was instantiated
+(``rtempl``, via location matching), parent class or namespace, access
+mode, signature, functions called (``rcall`` with virtual flag and call
+location), and characteristics specifying linkage, storage class, and
+virtuality."""
+
+from __future__ import annotations
+
+from repro.cpp.il import Access
+
+
+def emit_routines(an) -> None:
+    for r in an.tree.all_routines:
+        if not an.visible(r):
+            continue
+        item = an.routine_item(r)
+        item.add("rloc", *an.location_words(r.location))
+        an.parent_attrs(item, r, "rclass", "rnspace")
+        item.add("racs", r.access.value)
+        item.add("rsig", an.type_ref(r.signature))
+        item.add("rkind", r.kind.value)
+        item.add("rlink", r.linkage)
+        item.add("rstore", r.storage)
+        item.add("rvirt", r.virtuality.value)
+        if r.is_inline:
+            item.add("rinline", "yes")
+        if r.is_static_member:
+            item.add("rstatic", "yes")
+        if r.is_specialization:
+            item.add("rspecl", "yes")
+        if r.is_instantiation:
+            te = an.template_index.match(r.location)
+            if te is not None:
+                item.add("rtempl", an.template_item(te).ref)
+        for p in r.parameters:
+            item.add(
+                "rarg",
+                an.type_ref(p.type),
+                p.name or "_",
+                "D" if p.default_text is not None else "-",
+            )
+        # Fortran 90 extension (paper Section 6): generic-interface
+        # aliases, and the exit points TAU's instrumentation needs
+        for alias in r.flags.get("aliases", []):  # type: ignore[union-attr]
+            item.add("ralias", alias)
+        for exit_loc in r.flags.get("exits", []):  # type: ignore[union-attr]
+            item.add("rexit", *an.location_words(exit_loc))
+        first_exec = r.flags.get("first_exec")
+        if first_exec is not None:
+            item.add("rfexec", *an.location_words(first_exec))
+        for call in r.calls:
+            callee = call.callee
+            if not an.visible(callee):
+                continue
+            item.add(
+                "rcall",
+                an.routine_item(callee).ref,
+                "virt" if call.is_virtual else "no",
+                *an.location_words(call.location),
+            )
+        item.add("rpos", *an.pos_words(r.position))

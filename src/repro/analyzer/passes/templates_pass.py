@@ -1,0 +1,27 @@
+"""Template traversal: ``te`` items.
+
+Each template reports its name location, parent scope, access, kind
+(class / func / memfunc / statmem / memclass — the constants the TAU
+instrumentor dispatches on, paper Figure 6), the template's source text
+(``ttext``), and its header/body extents (``tpos``) — the extents the
+location matcher scans."""
+
+from __future__ import annotations
+
+from repro.cpp.il import Access
+
+
+def emit_templates(an) -> None:
+    for te in an.tree.all_templates:
+        item = an.template_item(te)
+        item.add("tloc", *an.location_words(te.location))
+        an.parent_attrs(item, te, "tclass", "tnspace")
+        if te.owner_class_template is not None:
+            # out-of-line member templates report their class template
+            item.add("tclass", an.template_item(te.owner_class_template).ref)
+        if te.access is not Access.NA:
+            item.add("tacs", te.access.value)
+        item.add("tkind", te.kind.value)
+        if te.text:
+            item.add_text("ttext", te.text)
+        item.add("tpos", *an.pos_words(te.position))

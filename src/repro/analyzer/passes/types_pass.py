@@ -1,0 +1,112 @@
+"""Type traversal: ``ty`` items.
+
+Most ``ty`` items are created on demand when another item references a
+type (signatures, member types); this pass additionally walks the IL's
+named types — enums and typedefs — so they are reported even when
+nothing references them, and fills in the per-kind attributes (paper
+Table 1: "various characteristics, depending on type: e.g., for function
+types, return type, parameter types, presence of ellipsis, and exception
+class IDs")."""
+
+from __future__ import annotations
+
+from repro.cpp.cpptypes import (
+    ArrayType,
+    BuiltinType,
+    DependentNameType,
+    EnumType,
+    FunctionType,
+    NonTypeArg,
+    PointerType,
+    QualifiedType,
+    ReferenceType,
+    TemplateIdType,
+    TemplateParamType,
+    TypedefType,
+    UnknownType,
+)
+from repro.cpp.il import Access, Class, Namespace
+
+
+def emit_types(an) -> None:
+    for e in an.tree.all_enums:
+        an.type_item(an.tree.types.enum_type(e))
+    for td in an.tree.all_typedefs:
+        an.type_item(an.tree.types.typedef_type(td))
+
+
+def _named_type_common(an, item, decl) -> None:
+    item.add("yloc", *an.location_words(decl.location))
+    parent = decl.parent
+    if isinstance(parent, Class):
+        item.add("yclass", an.class_item(parent).ref)
+    elif isinstance(parent, Namespace) and not parent.is_global:
+        item.add("ynspace", an.namespace_item(parent).ref)
+    if decl.access is not Access.NA:
+        item.add("yacs", decl.access.value)
+
+
+def populate_type_item(an, item, t) -> None:
+    """Fill the attributes of a freshly created ``ty`` item."""
+    if isinstance(t, BuiltinType):
+        item.add("ykind", t.ykind)
+        if t.yikind:
+            item.add("yikind", t.yikind)
+        return
+    if isinstance(t, PointerType):
+        item.add("ykind", "ptr")
+        item.add("yptr", an.type_ref(t.pointee))
+        return
+    if isinstance(t, ReferenceType):
+        item.add("ykind", "ref")
+        item.add("yref", an.type_ref(t.referenced))
+        return
+    if isinstance(t, QualifiedType):
+        item.add("ykind", "tref")
+        item.add("ytref", an.type_ref(t.base))
+        quals = [q for q, on in (("const", t.const), ("volatile", t.volatile)) if on]
+        if quals:
+            item.add("yqual", *quals)
+        return
+    if isinstance(t, ArrayType):
+        item.add("ykind", "array")
+        item.add("yelem", an.type_ref(t.element))
+        if t.size is not None:
+            item.add("ysize", t.size)
+        return
+    if isinstance(t, FunctionType):
+        item.add("ykind", "func")
+        item.add("yrett", an.type_ref(t.return_type))
+        for i, p in enumerate(t.parameters):
+            words = [an.type_ref(p)]
+            if i == len(t.parameters) - 1 and not t.ellipsis:
+                words.append("F")  # final-argument marker (paper Figure 3)
+            item.add("yargt", *words)
+        if t.ellipsis:
+            item.add("yellip", "yes")
+        if t.const:
+            item.add("yqual", "const")
+        for exc in t.exceptions:
+            item.add("yexcep", an.type_ref(exc))
+        return
+    if isinstance(t, EnumType):
+        item.add("ykind", "enum")
+        _named_type_common(an, item, t.decl)
+        for name, value in t.decl.enumerators:
+            item.add("yename", name, value)
+        return
+    if isinstance(t, TypedefType):
+        item.add("ykind", "typedef")
+        _named_type_common(an, item, t.decl)
+        item.add("ytref", an.type_ref(t.decl.underlying))
+        return
+    if isinstance(t, (TemplateParamType, DependentNameType, TemplateIdType)):
+        item.add("ykind", "dependent")
+        return
+    if isinstance(t, NonTypeArg):
+        item.add("ykind", "nontype")
+        return
+    if isinstance(t, UnknownType):
+        item.add("ykind", "unknown")
+        return
+    item.add("ykind", "unknown")

@@ -1,0 +1,89 @@
+"""Template ↔ instantiation matching by source location.
+
+Paper Section 3.1: "The IL subtrees indicate that an entity has been
+instantiated, not the template from which it is derived.  To compensate
+for this, the IL Analyzer creates a list of templates in advance, and
+then scans it to determine the template corresponding to an
+instantiation's locations.  Because the location of a specialization is
+not within the associated template's definition, it is currently not
+possible to determine the originating template for a specialization."
+
+We reproduce exactly that: a :class:`TemplateIndex` built once from the
+IL's template list, queried with each instantiated entity's location.
+The innermost template whose definition span contains the location wins;
+an entity whose location falls in no span (an explicit specialization)
+gets no provenance attribute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpp.il import Template
+from repro.cpp.source import SourceFile, SourceLocation
+
+
+@dataclass
+class _Span:
+    """The full definition extent of one template in one file."""
+
+    template: Template
+    file: SourceFile
+    begin: tuple[int, int]
+    end: tuple[int, int]
+
+    def contains(self, loc: SourceLocation) -> bool:
+        if loc.file is not self.file:
+            return False
+        point = (loc.line, loc.column)
+        return self.begin <= point <= self.end
+
+    def size(self) -> tuple[int, int]:
+        return (self.end[0] - self.begin[0], self.end[1] - self.begin[1])
+
+
+class TemplateIndex:
+    """The analyzer's scan list of template definition spans."""
+
+    def __init__(self, templates: list[Template]):
+        self.spans: list[_Span] = []
+        for te in templates:
+            span = _template_span(te)
+            if span is not None:
+                self.spans.append(span)
+
+    def match(self, loc: Optional[SourceLocation]) -> Optional[Template]:
+        """The innermost template whose definition contains ``loc``."""
+        if loc is None:
+            return None
+        best: Optional[_Span] = None
+        for span in self.spans:
+            if not span.contains(loc):
+                continue
+            if best is None or span.size() < best.size():
+                best = span
+        return best.template if best is not None else None
+
+
+def _template_span(te: Template) -> Optional[_Span]:
+    """Compute a template's definition extent: from the earliest known
+    position (header begin, else name) to the latest (body end)."""
+    begin: Optional[SourceLocation] = None
+    end: Optional[SourceLocation] = None
+    if te.position.header is not None:
+        begin = te.position.header.begin
+        end = te.position.header.end
+    if te.position.body is not None:
+        if begin is None:
+            begin = te.position.body.begin
+        end = te.position.body.end
+    if begin is None:
+        begin = end = te.location
+    if end is None:
+        end = begin
+    if begin.file is not end.file:
+        # out-of-line spans never straddle files in the supported subset;
+        # fall back to the body extent
+        begin = end
+    return _Span(te, begin.file, (begin.line, begin.column), (end.line, end.column))

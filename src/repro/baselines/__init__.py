@@ -1,0 +1,5 @@
+"""Baselines the paper compares against (Section 4.1 / Section 5)."""
+
+from repro.baselines.sagepp import SageExtractor, SageResult, extraction_accuracy
+
+__all__ = ["SageExtractor", "SageResult", "extraction_accuracy"]

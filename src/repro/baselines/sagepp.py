@@ -1,0 +1,137 @@
+"""Sage++-style baseline extractor.
+
+Sage++ is the toolkit TAU used before PDT (paper Sections 4.1 and 5):
+"Using PDT's predecessor (Sage++), automatic instrumentation of POOMA
+code had been attempted with TAU, but difficulties were encountered in
+parsing POOMA's complicated template entities" — Sage++ "does not
+adequately support templates."
+
+This baseline is an honest stand-in for that class of tool: a heuristic,
+pattern-driven C++ scanner of the kind that predates full-fidelity
+front ends.  It is genuinely useful on plain C++ (it finds classes and
+function definitions reliably), and it genuinely degrades on template
+code, for the same structural reasons Sage++ did:
+
+* it has no instantiation machinery, so ``Stack<int>`` and the member
+  bodies used-mode instantiation would produce simply do not exist in
+  its output,
+* templated qualifiers (``Stack<Object>::push``) and template argument
+  lists confuse its declarator recognition,
+* nested template arguments (``AddExpr<VectorView, ScaleExpr<...>>``)
+  break its name tokenisation.
+
+Bench E7 sweeps corpora of increasing template density and reports both
+tools' extraction accuracy against the front end's ground truth.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+#: function definition: "ret name ( args ) [const] {"
+_FUNC_RE = re.compile(
+    r"^\s*(?:[A-Za-z_][\w:&*<>,\s]*?[\s&*:])?"  # return type / qualifier prefix
+    r"(?P<name>~?[A-Za-z_]\w*)\s*"
+    r"\((?P<args>[^;{}()]*)\)\s*"
+    r"(?:const\s*)?"
+    r"(?::[^{;]*)?"  # ctor initialiser list
+    r"\{",
+    re.MULTILINE,
+)
+
+#: class/struct definition head
+_CLASS_RE = re.compile(
+    r"^\s*(?:class|struct)\s+(?P<name>[A-Za-z_]\w*)\s*(?::[^{;]*)?\{", re.MULTILINE
+)
+
+#: things the heuristic scanner must not mistake for functions
+_KEYWORD_NAMES = frozenset(
+    "if while for switch return catch sizeof throw else do new delete".split()
+)
+
+
+@dataclass
+class SageResult:
+    """What the baseline extracted from a source tree."""
+
+    classes: set[str] = field(default_factory=set)
+    routines: set[str] = field(default_factory=set)
+    #: routine -> number of definitions found (overload-blind)
+    routine_counts: dict[str, int] = field(default_factory=dict)
+    parse_failures: int = 0
+
+
+class SageExtractor:
+    """Heuristic class/function extractor in the Sage++ mold."""
+
+    def extract(self, files: dict[str, str]) -> SageResult:
+        result = SageResult()
+        for _name, text in files.items():
+            self._extract_file(text, result)
+        return result
+
+    def _extract_file(self, text: str, result: SageResult) -> None:
+        stripped = _strip_comments(text)
+        for m in _CLASS_RE.finditer(stripped):
+            result.classes.add(m.group("name"))
+        for m in _FUNC_RE.finditer(stripped):
+            name = m.group("name")
+            if name in _KEYWORD_NAMES:
+                continue
+            prefix = stripped[max(0, m.start() - 80) : m.start()]
+            # The structural template blindness: a definition whose
+            # declarator carries template syntax cannot be attributed.
+            window = stripped[m.start() : m.end()]
+            if "<" in window.split("(")[0]:
+                # templated qualifier (Stack<Object>::push) — the name
+                # tokenisation loses the owner, and with multiple
+                # template parameters the arg-list commas shear the
+                # declarator apart: record a parse failure.
+                result.parse_failures += 1
+                continue
+            if re.search(r"template\s*<[^>]*$", prefix):
+                # definition directly under a template<> header whose
+                # parameter list the line-based scan left open
+                result.parse_failures += 1
+                continue
+            result.routines.add(name)
+            result.routine_counts[name] = result.routine_counts.get(name, 0) + 1
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.DOTALL)
+    text = re.sub(r"//[^\n]*", " ", text)
+    text = re.sub(r"^\s*#[^\n]*", " ", text, flags=re.MULTILINE)
+    return text
+
+
+@dataclass
+class AccuracyReport:
+    """Extraction accuracy of one tool against ground truth."""
+
+    found: int
+    ground_truth: int
+    spurious: int
+
+    @property
+    def recall(self) -> float:
+        return self.found / self.ground_truth if self.ground_truth else 1.0
+
+
+def extraction_accuracy(
+    result: SageResult, true_routines: set[str]
+) -> AccuracyReport:
+    """Compare the baseline's routine set against ground-truth names.
+
+    Ground truth uses *raw* names (no qualification, no template args) —
+    the most favourable possible comparison for the baseline, since it
+    cannot produce qualified or instantiated names at all."""
+    raw_truth = {_raw_name(n) for n in true_routines}
+    found = len(result.routines & raw_truth)
+    spurious = len(result.routines - raw_truth)
+    return AccuracyReport(found=found, ground_truth=len(raw_truth), spurious=spurious)
+
+
+def _raw_name(name: str) -> str:
+    return name.split("<")[0].split("::")[-1]

@@ -1,0 +1,33 @@
+"""EDG-substitute C++ front end.
+
+This subpackage is the substrate the paper depends on: a C++-subset front
+end producing a high-level intermediate language (IL) tree that preserves
+original names and source locations, with an EDG-style template
+instantiation engine supporting the "used" instantiation mode the paper
+relies on (Section 2 of the paper).
+
+Public entry point::
+
+    from repro.cpp import Frontend, FrontendOptions
+    fe = Frontend(FrontendOptions(include_paths=[...]))
+    tree = fe.compile(["TestStackAr.cpp"])
+
+The resulting :class:`repro.cpp.il.ILTree` is the input to the IL Analyzer
+(:mod:`repro.analyzer`).
+"""
+
+from repro.cpp.diagnostics import CppError, Diagnostic, DiagnosticSink
+from repro.cpp.frontend import Frontend, FrontendOptions, InstantiationMode
+from repro.cpp.source import SourceFile, SourceLocation, SourceManager
+
+__all__ = [
+    "CppError",
+    "Diagnostic",
+    "DiagnosticSink",
+    "Frontend",
+    "FrontendOptions",
+    "InstantiationMode",
+    "SourceFile",
+    "SourceLocation",
+    "SourceManager",
+]

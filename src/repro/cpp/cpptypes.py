@@ -1,0 +1,519 @@
+"""The front end's type system.
+
+Mirrors the type taxonomy visible in PDB ``ty`` items (paper Figure 3):
+
+========  ===========================================  ==============
+ykind     meaning                                      example
+========  ===========================================  ==============
+bool/int/
+float...  builtin types (with integer kind ``yikind``) ``ty#5 int``
+ptr       pointer                                      ``int *``
+ref       reference (``yref`` -> referenced type)      ``const int &``
+tref      qualified reference to another type          ``const int``
+array     array (element type, optional size)          ``int [10]``
+func      function type (return, params, quals)        ``bool () const``
+enum      enumeration
+class     class types are referenced as ``cl#`` items
+tparam    template type parameter (dependent)
+dname     dependent qualified name (``T::iterator``)
+========  ===========================================  ==============
+
+Types are immutable and interned in a :class:`TypeTable`, so identity
+comparison is structural equality, which keeps PDB type ids stable and
+deduplicated across a translation unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cpp.il import Class, Enum, Typedef
+
+
+class Type:
+    """Base class for all types. Subclasses are interned — never construct
+    directly; go through :class:`TypeTable`."""
+
+    kind: str = "?"
+
+    def spelling(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.spelling()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.spelling()!r}>"
+
+    @property
+    def is_dependent(self) -> bool:
+        """True when the type mentions a template parameter."""
+        return False
+
+    def strip(self) -> "Type":
+        """Peel typedefs and cv-qualifiers down to the underlying type."""
+        return self
+
+    def class_decl(self) -> Optional["Class"]:
+        """The class declaration behind this type, if it is (or wraps) a
+        class type — used for member lookup on object expressions."""
+        return None
+
+
+#: (name, yikind) for supported builtins. yikind follows EDG's convention
+#: of reporting the underlying integer kind (bool is char-sized).
+_BUILTINS: dict[str, tuple[str, str]] = {
+    "void": ("void", ""),
+    "bool": ("bool", "char"),
+    "char": ("char", "char"),
+    "signed char": ("char", "schar"),
+    "unsigned char": ("char", "uchar"),
+    "wchar_t": ("wchar", "wchar"),
+    "short": ("int", "short"),
+    "unsigned short": ("int", "ushort"),
+    "int": ("int", "int"),
+    "unsigned int": ("int", "uint"),
+    "long": ("int", "long"),
+    "unsigned long": ("int", "ulong"),
+    "long long": ("int", "llong"),
+    "unsigned long long": ("int", "ullong"),
+    "float": ("float", ""),
+    "double": ("double", ""),
+    "long double": ("double", "long"),
+    # Fortran 90 front end (paper Section 6's planned extension)
+    "complex": ("complex", ""),
+    "double complex": ("complex", "double"),
+    "character(*)": ("fchar", ""),
+}
+
+
+@dataclass(frozen=True)
+class BuiltinType(Type):
+    name: str
+    ykind: str
+    yikind: str
+
+    @property
+    def kind(self) -> str:  # type: ignore[override]
+        return self.ykind
+
+    def spelling(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PointerType(Type):
+    pointee: Type
+    kind = "ptr"
+
+    def spelling(self) -> str:
+        return f"{self.pointee.spelling()} *"
+
+    @property
+    def is_dependent(self) -> bool:
+        return self.pointee.is_dependent
+
+
+@dataclass(frozen=True)
+class ReferenceType(Type):
+    referenced: Type
+    kind = "ref"
+
+    def spelling(self) -> str:
+        return f"{self.referenced.spelling()} &"
+
+    @property
+    def is_dependent(self) -> bool:
+        return self.referenced.is_dependent
+
+    def strip(self) -> Type:
+        return self.referenced.strip()
+
+    def class_decl(self) -> Optional["Class"]:
+        return self.referenced.class_decl()
+
+
+@dataclass(frozen=True)
+class QualifiedType(Type):
+    """cv-qualified view of another type; PDB renders as ``tref``."""
+
+    base: Type
+    const: bool = False
+    volatile: bool = False
+    kind = "tref"
+
+    def spelling(self) -> str:
+        quals = []
+        if self.const:
+            quals.append("const")
+        if self.volatile:
+            quals.append("volatile")
+        return " ".join(quals + [self.base.spelling()])
+
+    @property
+    def is_dependent(self) -> bool:
+        return self.base.is_dependent
+
+    def strip(self) -> Type:
+        return self.base.strip()
+
+    def class_decl(self) -> Optional["Class"]:
+        return self.base.class_decl()
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    element: Type
+    size: Optional[int] = None
+    kind = "array"
+
+    def spelling(self) -> str:
+        n = "" if self.size is None else str(self.size)
+        return f"{self.element.spelling()} [{n}]"
+
+    @property
+    def is_dependent(self) -> bool:
+        return self.element.is_dependent
+
+
+@dataclass(frozen=True)
+class FunctionType(Type):
+    """A function signature (the PDB ``rsig`` target)."""
+
+    return_type: Type
+    parameters: tuple[Type, ...]
+    ellipsis: bool = False
+    const: bool = False
+    exceptions: tuple[Type, ...] = ()
+    has_throw_spec: bool = False
+    kind = "func"
+
+    def spelling(self) -> str:
+        params = ", ".join(p.spelling() for p in self.parameters)
+        if self.ellipsis:
+            params = f"{params}, ..." if params else "..."
+        s = f"{self.return_type.spelling()} ({params})"
+        if self.const:
+            s += " const"
+        return s
+
+    @property
+    def is_dependent(self) -> bool:
+        return self.return_type.is_dependent or any(p.is_dependent for p in self.parameters)
+
+
+class ClassType(Type):
+    """A class/struct/union type; PDB references these as ``cl#`` items."""
+
+    kind = "class"
+
+    def __init__(self, decl: "Class"):
+        self.decl = decl
+
+    def spelling(self) -> str:
+        return self.decl.full_name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClassType) and other.decl is self.decl
+
+    def __hash__(self) -> int:
+        return hash(("class", id(self.decl)))
+
+    def class_decl(self) -> Optional["Class"]:
+        return self.decl
+
+
+class EnumType(Type):
+    """An enumeration type (PDB ``ykind enum``)."""
+
+    kind = "enum"
+
+    def __init__(self, decl: "Enum"):
+        self.decl = decl
+
+    def spelling(self) -> str:
+        return self.decl.full_name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EnumType) and other.decl is self.decl
+
+    def __hash__(self) -> int:
+        return hash(("enum", id(self.decl)))
+
+
+class TypedefType(Type):
+    """A named alias; ``strip()`` reaches the underlying type."""
+
+    kind = "typedef"
+
+    def __init__(self, decl: "Typedef"):
+        self.decl = decl
+
+    def spelling(self) -> str:
+        return self.decl.full_name
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TypedefType) and other.decl is self.decl
+
+    def __hash__(self) -> int:
+        return hash(("typedef", id(self.decl)))
+
+    @property
+    def is_dependent(self) -> bool:
+        return self.decl.underlying.is_dependent
+
+    def strip(self) -> Type:
+        return self.decl.underlying.strip()
+
+    def class_decl(self) -> Optional["Class"]:
+        return self.decl.underlying.class_decl()
+
+
+@dataclass(frozen=True)
+class TemplateParamType(Type):
+    """A template type parameter (``class Object``) — dependent."""
+
+    name: str
+    index: int
+    kind = "tparam"
+
+    def spelling(self) -> str:
+        return self.name
+
+    @property
+    def is_dependent(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class DependentNameType(Type):
+    """``typename Qualifier::name`` where Qualifier is dependent."""
+
+    qualifier: Type
+    name: str
+    kind = "dname"
+
+    def spelling(self) -> str:
+        return f"{self.qualifier.spelling()}::{self.name}"
+
+    @property
+    def is_dependent(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class NonTypeArg(Type):
+    """A non-type template argument (``10``, ``N``), preserved as text.
+
+    Participates in template argument lists alongside real types so
+    ``Buffer<int, 16>`` and ``Buffer<int, 32>`` intern as distinct
+    instantiations; the front end does not evaluate the expression.
+    """
+
+    text: str
+    dependent: bool = False
+    kind = "nontype"
+
+    def spelling(self) -> str:
+        return self.text
+
+    @property
+    def is_dependent(self) -> bool:
+        return self.dependent
+
+
+class TemplateIdType(Type):
+    """A template-id (``Stack<Object>``) naming a class-template
+    instantiation that cannot be resolved yet because one or more
+    arguments are dependent.  The instantiation engine resolves these to
+    :class:`ClassType` once arguments become concrete."""
+
+    kind = "templid"
+
+    def __init__(self, template, args: tuple[Type, ...]):
+        self.template = template  # il.Template (class template)
+        self.args = args
+
+    def spelling(self) -> str:
+        inner = ", ".join(a.spelling() for a in self.args)
+        return f"{self.template.name}<{inner}>"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TemplateIdType)
+            and other.template is self.template
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return hash(("templid", id(self.template), self.args))
+
+    @property
+    def is_dependent(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class UnknownType(Type):
+    """Error-recovery placeholder; never matches anything."""
+
+    hint: str = ""
+    kind = "unknown"
+
+    def spelling(self) -> str:
+        return self.hint or "<unknown>"
+
+
+class TypeTable:
+    """Interns types so structural equality implies identity of records.
+
+    The IL Analyzer walks :attr:`all_types` in creation order to assign
+    ``ty#`` ids, so ordering determinism matters.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[object, Type] = {}
+        self.all_types: list[Type] = []
+        self.builtins: dict[str, BuiltinType] = {}
+        for name, (ykind, yikind) in _BUILTINS.items():
+            t = BuiltinType(name, ykind, yikind)
+            self.builtins[name] = t
+
+    def _intern(self, key: object, make) -> Type:
+        t = self._cache.get(key)
+        if t is None:
+            t = make()
+            self._cache[key] = t
+            self.all_types.append(t)
+        return t
+
+    def builtin(self, name: str) -> BuiltinType:
+        t = self.builtins[name]
+        return self._intern(("b", name), lambda: t)  # type: ignore[return-value]
+
+    @property
+    def void(self) -> BuiltinType:
+        return self.builtin("void")
+
+    @property
+    def int_(self) -> BuiltinType:
+        return self.builtin("int")
+
+    @property
+    def bool_(self) -> BuiltinType:
+        return self.builtin("bool")
+
+    @property
+    def double(self) -> BuiltinType:
+        return self.builtin("double")
+
+    def pointer_to(self, t: Type) -> PointerType:
+        return self._intern(("p", t), lambda: PointerType(t))  # type: ignore[return-value]
+
+    def reference_to(self, t: Type) -> Type:
+        if isinstance(t, ReferenceType):  # reference collapsing
+            return t
+        return self._intern(("r", t), lambda: ReferenceType(t))
+
+    def qualified(self, t: Type, const: bool = False, volatile: bool = False) -> Type:
+        if not const and not volatile:
+            return t
+        if isinstance(t, QualifiedType):
+            const = const or t.const
+            volatile = volatile or t.volatile
+            t = t.base
+        return self._intern(("q", t, const, volatile), lambda: QualifiedType(t, const, volatile))
+
+    def array_of(self, t: Type, size: Optional[int] = None) -> Type:
+        return self._intern(("a", t, size), lambda: ArrayType(t, size))
+
+    def function(
+        self,
+        return_type: Type,
+        parameters: list[Type],
+        ellipsis: bool = False,
+        const: bool = False,
+        exceptions: tuple[Type, ...] = (),
+        has_throw_spec: bool = False,
+    ) -> FunctionType:
+        key = ("f", return_type, tuple(parameters), ellipsis, const, exceptions, has_throw_spec)
+        return self._intern(
+            key,
+            lambda: FunctionType(
+                return_type, tuple(parameters), ellipsis, const, exceptions, has_throw_spec
+            ),
+        )  # type: ignore[return-value]
+
+    def class_type(self, decl: "Class") -> ClassType:
+        return self._intern(("c", id(decl)), lambda: ClassType(decl))  # type: ignore[return-value]
+
+    def enum_type(self, decl: "Enum") -> EnumType:
+        return self._intern(("e", id(decl)), lambda: EnumType(decl))  # type: ignore[return-value]
+
+    def typedef_type(self, decl: "Typedef") -> TypedefType:
+        return self._intern(("td", id(decl)), lambda: TypedefType(decl))  # type: ignore[return-value]
+
+    def template_param(self, name: str, index: int) -> TemplateParamType:
+        return self._intern(("tp", name, index), lambda: TemplateParamType(name, index))  # type: ignore[return-value]
+
+    def dependent_name(self, qualifier: Type, name: str) -> DependentNameType:
+        return self._intern(("dn", qualifier, name), lambda: DependentNameType(qualifier, name))  # type: ignore[return-value]
+
+    def template_id(self, template, args: list[Type]) -> TemplateIdType:
+        key = ("ti", id(template), tuple(args))
+        return self._intern(key, lambda: TemplateIdType(template, tuple(args)))  # type: ignore[return-value]
+
+    def nontype_arg(self, text: str, dependent: bool = False) -> NonTypeArg:
+        return self._intern(("nt", text, dependent), lambda: NonTypeArg(text, dependent))  # type: ignore[return-value]
+
+    def unknown(self, hint: str = "") -> UnknownType:
+        return self._intern(("u", hint), lambda: UnknownType(hint))  # type: ignore[return-value]
+
+    # -- substitution ----------------------------------------------------
+
+    def substitute(self, t: Type, bindings: dict[str, Type]) -> Type:
+        """Replace template parameters in ``t`` per ``bindings``.
+
+        The workhorse of template instantiation: rebuilds the type
+        bottom-up through the table so results stay interned.
+        """
+        if not t.is_dependent:
+            return t
+        if isinstance(t, TemplateParamType):
+            return bindings.get(t.name, t)
+        if isinstance(t, PointerType):
+            return self.pointer_to(self.substitute(t.pointee, bindings))
+        if isinstance(t, ReferenceType):
+            return self.reference_to(self.substitute(t.referenced, bindings))
+        if isinstance(t, QualifiedType):
+            return self.qualified(self.substitute(t.base, bindings), t.const, t.volatile)
+        if isinstance(t, ArrayType):
+            return self.array_of(self.substitute(t.element, bindings), t.size)
+        if isinstance(t, FunctionType):
+            return self.function(
+                self.substitute(t.return_type, bindings),
+                [self.substitute(p, bindings) for p in t.parameters],
+                t.ellipsis,
+                t.const,
+                tuple(self.substitute(e, bindings) for e in t.exceptions),
+                t.has_throw_spec,
+            )
+        if isinstance(t, DependentNameType):
+            # Member-name resolution of a now-concrete qualifier happens in
+            # the instantiation engine, which has scope access; keep the
+            # structural form here.
+            return self.dependent_name(self.substitute(t.qualifier, bindings), t.name)
+        if isinstance(t, TemplateIdType):
+            # Arguments may become concrete; the instantiation engine turns
+            # fully-concrete template-ids into ClassTypes.
+            return self.template_id(
+                t.template, [self.substitute(a, bindings) for a in t.args]
+            )
+        if isinstance(t, NonTypeArg):
+            bound = bindings.get(t.text)
+            if bound is not None:
+                return bound
+            return self.nontype_arg(t.text, dependent=False)
+        return t

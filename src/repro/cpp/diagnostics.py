@@ -1,0 +1,90 @@
+"""Diagnostics: errors and warnings with source positions.
+
+The front end never raises bare exceptions for user-source problems; it
+reports :class:`Diagnostic` records through a :class:`DiagnosticSink` so a
+driving tool can decide whether to abort.  Hard errors (malformed input the
+parser cannot recover from) raise :class:`CppError`, which also carries a
+location.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cpp.source import SourceLocation
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity levels, ordered."""
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One reported problem: severity, message, optional location."""
+
+    severity: Severity
+    message: str
+    location: Optional["SourceLocation"] = None
+
+    def render(self) -> str:
+        """Format like ``file:line:col: error: message``."""
+        prefix = ""
+        if self.location is not None:
+            prefix = f"{self.location}: "
+        return f"{prefix}{self.severity.name.lower()}: {self.message}"
+
+
+class CppError(Exception):
+    """Unrecoverable front-end error, carrying a source location."""
+
+    def __init__(self, message: str, location: Optional["SourceLocation"] = None):
+        self.location = location
+        self.message = message
+        super().__init__(Diagnostic(Severity.ERROR, message, location).render())
+
+
+@dataclass
+class DiagnosticSink:
+    """Collects diagnostics; optionally escalates errors to exceptions.
+
+    ``max_errors`` bounds how many errors accumulate before the sink raises
+    regardless of ``fatal_errors`` — runaway cascades in a broken input
+    should not silently fill memory.
+    """
+
+    fatal_errors: bool = True
+    max_errors: int = 50
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def note(self, message: str, location: Optional["SourceLocation"] = None) -> None:
+        self.diagnostics.append(Diagnostic(Severity.NOTE, message, location))
+
+    def warn(self, message: str, location: Optional["SourceLocation"] = None) -> None:
+        self.diagnostics.append(Diagnostic(Severity.WARNING, message, location))
+
+    def error(self, message: str, location: Optional["SourceLocation"] = None) -> None:
+        self.diagnostics.append(Diagnostic(Severity.ERROR, message, location))
+        if self.fatal_errors or self.error_count >= self.max_errors:
+            raise CppError(message, location)
+
+    def soft_error(self, message: str, location: Optional["SourceLocation"] = None) -> None:
+        """Record an error without escalating (parser error recovery)."""
+        self.diagnostics.append(Diagnostic(Severity.ERROR, message, location))
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warning_count(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    def render_all(self) -> str:
+        return "\n".join(d.render() for d in self.diagnostics)

@@ -1,0 +1,88 @@
+"""Front-end driver: source files -> IL tree.
+
+One :class:`Frontend` owns a :class:`SourceManager` (so in-memory corpora
+can be registered once) and compiles translation units:
+
+    fe = Frontend(FrontendOptions(include_paths=["include"]))
+    fe.register_files({"a.h": "...", "main.cpp": "..."})
+    tree = fe.compile("main.cpp")
+
+``compile_many`` compiles several TUs independently (one ILTree each),
+which is the input situation for the paper's ``pdbmerge`` workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpp.diagnostics import DiagnosticSink
+from repro.cpp.il import ILTree
+from repro.cpp.instantiate import InstantiationEngine, InstantiationMode
+from repro.cpp.preprocessor import Preprocessor
+from repro.cpp.scope import Binder
+from repro.cpp.source import SourceManager
+
+
+@dataclass
+class FrontendOptions:
+    """Compilation options.
+
+    ``instantiation_mode`` selects the EDG-style scheme (paper Section 2):
+    USED is what PDT needs; ALL and PRELINK exist for benches E10/E11.
+    """
+
+    include_paths: list[str] = field(default_factory=list)
+    instantiation_mode: InstantiationMode = InstantiationMode.USED
+    predefined_macros: dict[str, str] = field(default_factory=dict)
+    fatal_errors: bool = True
+
+
+class Frontend:
+    """Compiles translation units into IL trees."""
+
+    def __init__(
+        self,
+        options: Optional[FrontendOptions] = None,
+        manager: Optional[SourceManager] = None,
+    ):
+        self.options = options or FrontendOptions()
+        self.manager = manager or SourceManager(self.options.include_paths)
+        if manager is not None and self.options.include_paths:
+            for p in self.options.include_paths:
+                if p not in self.manager.include_paths:
+                    self.manager.include_paths.append(p)
+        self.last_sink: Optional[DiagnosticSink] = None
+        self.last_engine: Optional[InstantiationEngine] = None
+
+    def register_files(self, files: dict[str, str]) -> None:
+        """Register in-memory sources (corpora, generated code)."""
+        self.manager.register_many(files)
+
+    def compile(self, main_file: str) -> ILTree:
+        """Compile one translation unit."""
+        from repro.cpp.declparse import Parser
+
+        sink = DiagnosticSink(fatal_errors=self.options.fatal_errors)
+        self.last_sink = sink
+        src = self.manager.load(main_file)
+        predefined = {"__cplusplus": "199711", **self.options.predefined_macros}
+        pp = Preprocessor(self.manager, sink, predefined)
+        tokens = pp.preprocess(src)
+        tree = ILTree()
+        tree.main_file = src
+        engine = InstantiationEngine(
+            tree, tokens, sink, self.options.instantiation_mode
+        )
+        self.last_engine = engine
+        binder = Binder(tree)
+        parser = Parser(tokens, tree, binder, sink, engine)
+        parser.parse_translation_unit()
+        engine.drain()
+        tree.files = self.manager.inclusion_closure([src])
+        tree.macros = list(pp.macro_records)
+        return tree
+
+    def compile_many(self, main_files: list[str]) -> list[ILTree]:
+        """Compile several TUs independently (pdbmerge's input shape)."""
+        return [self.compile(f) for f in main_files]

@@ -1,0 +1,309 @@
+"""Statement parsing for function bodies.
+
+Bodies are parsed for one purpose: populating the routine's static call
+references (PDB ``rcall``).  Beyond plain calls (handled in
+:mod:`exprparse`), the statement level contributes the *lifetime* calls
+the paper singles out (Section 3.1): a local object declaration records a
+constructor call at the declaration site, and a destructor call at the
+end of its enclosing scope — "PDT must process all contexts in which the
+lifetimes are handled in order to determine the calling locations."
+
+Declaration-vs-expression disambiguation is resolution-driven: a
+statement is a declaration iff its leading tokens parse as a type *and*
+the named entity actually denotes a type in the current scope.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpp.cpptypes import (
+    ClassType,
+    PointerType,
+    QualifiedType,
+    ReferenceType,
+    Type,
+    TypedefType,
+)
+from repro.cpp.diagnostics import CppError
+from repro.cpp.exprparse import ExprInfo, ExprParserMixin
+from repro.cpp.scope import LocalVar
+from repro.cpp.source import SourceLocation
+from repro.cpp.tokens import TokenKind
+
+def _owned_class(t: Type):
+    """The class whose object a variable of type ``t`` *owns* — None for
+    references and pointers (no lifetime begins or ends with them)."""
+    while isinstance(t, (QualifiedType, TypedefType)):
+        t = t.base if isinstance(t, QualifiedType) else t.decl.underlying
+    if isinstance(t, (ReferenceType, PointerType)):
+        return None
+    if isinstance(t, ClassType):
+        return t.decl
+    return None
+
+
+#: keywords that begin a statement we dispatch on directly.
+_STMT_KEYWORDS = frozenset(
+    "if while do for return break continue switch case default try goto".split()
+)
+
+
+class StmtParserMixin(ExprParserMixin):
+    """Statement grammar; mixed into the full Parser."""
+
+    # -- blocks ------------------------------------------------------------
+
+    def parse_compound_statement(self) -> None:
+        """Parse ``{ ... }`` with its own scope; destructor calls for
+        class-typed locals are recorded at the closing brace."""
+        open_tok = self.expect("{")
+        self.binder.push_block()
+        try:
+            while not self.at("}"):
+                if self.at_eof:
+                    raise CppError("unterminated block", open_tok.location)
+                self.parse_statement()
+        finally:
+            close_loc = self.cur.location
+            scope = self.binder.pop_block()
+            self._record_scope_destructors(scope, close_loc)
+        self.expect("}")
+
+    def _record_scope_destructors(
+        self, scope: dict[str, LocalVar], loc: SourceLocation
+    ) -> None:
+        """Locals die in reverse declaration order at scope end.
+
+        Only *objects* die: locals of reference or pointer type do not
+        end any lifetime."""
+        for var in reversed(list(scope.values())):
+            cls = _owned_class(var.type)
+            if cls is None:
+                continue
+            dtor = cls.destructor()
+            if dtor is not None:
+                self._record_call(dtor, loc, via_object=True)
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statement(self) -> None:
+        t = self.cur
+        if t.is_punct("{"):
+            self.parse_compound_statement()
+            return
+        if t.is_punct(";"):
+            self.advance()
+            return
+        if t.kind is TokenKind.IDENT and t.text in _STMT_KEYWORDS:
+            getattr(self, f"_parse_{t.text}_statement")()
+            return
+        if t.is_ident("throw"):
+            self._parse_throw()
+            self.expect(";")
+            return
+        if self._statement_is_declaration():
+            self._parse_declaration_statement()
+            return
+        self.parse_comma_expression()
+        self.expect(";")
+
+    # -- control flow ------------------------------------------------------------
+
+    def _parse_if_statement(self) -> None:
+        self.expect("if")
+        self.expect("(")
+        self._parse_condition()
+        self.expect(")")
+        self.parse_statement()
+        if self.accept("else"):
+            self.parse_statement()
+
+    def _parse_while_statement(self) -> None:
+        self.expect("while")
+        self.expect("(")
+        self._parse_condition()
+        self.expect(")")
+        self.parse_statement()
+
+    def _parse_do_statement(self) -> None:
+        self.expect("do")
+        self.parse_statement()
+        self.expect("while")
+        self.expect("(")
+        self.parse_comma_expression()
+        self.expect(")")
+        self.expect(";")
+
+    def _parse_for_statement(self) -> None:
+        self.expect("for")
+        self.expect("(")
+        self.binder.push_block()  # for-init declarations scope to the loop
+        try:
+            if not self.at(";"):
+                if self._statement_is_declaration():
+                    self._parse_declaration_statement(terminator=";")
+                else:
+                    self.parse_comma_expression()
+                    self.expect(";")
+            else:
+                self.advance()
+            if not self.at(";"):
+                self._parse_condition()
+            self.expect(";")
+            if not self.at(")"):
+                self.parse_comma_expression()
+            self.expect(")")
+            self.parse_statement()
+        finally:
+            scope = self.binder.pop_block()
+            self._record_scope_destructors(scope, self.cur.location)
+
+    def _parse_switch_statement(self) -> None:
+        self.expect("switch")
+        self.expect("(")
+        self._parse_condition()
+        self.expect(")")
+        self.parse_statement()
+
+    def _parse_case_statement(self) -> None:
+        self.expect("case")
+        # constant-expression up to ":"
+        depth = 0
+        while not self.at_eof:
+            if self.at(":") and depth == 0:
+                break
+            if self.cur.text in ("(", "[", "?"):
+                depth += 1
+            elif self.cur.text in (")", "]", ":") and depth > 0:
+                depth -= 1
+            self.advance()
+        self.expect(":")
+
+    def _parse_default_statement(self) -> None:
+        self.expect("default")
+        self.expect(":")
+
+    def _parse_return_statement(self) -> None:
+        self.expect("return")
+        if not self.at(";"):
+            self.parse_comma_expression()
+        self.expect(";")
+
+    def _parse_break_statement(self) -> None:
+        self.expect("break")
+        self.expect(";")
+
+    def _parse_continue_statement(self) -> None:
+        self.expect("continue")
+        self.expect(";")
+
+    def _parse_goto_statement(self) -> None:
+        self.expect("goto")
+        self.expect_ident()
+        self.expect(";")
+
+    def _parse_try_statement(self) -> None:
+        self.expect("try")
+        self.parse_compound_statement()
+        while self.at("catch"):
+            self.advance()
+            self.expect("(")
+            self.binder.push_block()
+            try:
+                if self.at("..."):
+                    self.advance()
+                else:
+                    base = self.parse_type_specifier()
+                    d = self.parse_declarator(base, abstract=True)
+                    if d.name:
+                        self.binder.declare_local(
+                            d.name, d.type or base, d.name_location or self.loc()
+                        )
+                self.expect(")")
+                self.parse_compound_statement()
+            finally:
+                self.binder.pop_block()
+
+    def _parse_condition(self) -> None:
+        """A condition: expression, or a declaration (``if (T* p = ...)``)."""
+        if self._statement_is_declaration(condition=True):
+            base = self.parse_type_specifier()
+            d = self.parse_declarator(base)
+            if d.name:
+                self.binder.declare_local(
+                    d.name, d.type or base, d.name_location or self.loc()
+                )
+            if self.accept("="):
+                self._parse_assignment()
+        else:
+            self.parse_comma_expression()
+
+    # -- declaration statements -------------------------------------------------------
+
+    def _statement_is_declaration(self, condition: bool = False) -> bool:
+        """Resolution-driven disambiguation: the statement is a
+        declaration iff a type parses *and* a declarator plausibly follows."""
+        if self.starts_decl_specifier():
+            return True
+        if self.cur.kind is not TokenKind.IDENT:
+            return False
+        mark = self.mark()
+        try:
+            self.parse_type_specifier()
+        except CppError:
+            self.rewind(mark)
+            return False
+        ok = (
+            self.at_plain_ident()
+            or self.at("*")
+            or self.at("&")
+            or self.at("~")  # unlikely; defensive
+        )
+        # "x * y;" where x is a variable already failed type parse; here the
+        # type parsed, so ident/*/& means a declarator follows.
+        self.rewind(mark)
+        return ok
+
+    def _parse_declaration_statement(self, terminator: str = ";") -> None:
+        # consume storage-class specifiers valid at block scope
+        while self.at_any("static", "const", "register", "extern"):
+            if self.at("const"):
+                break  # const binds to the type; let the type parser see it
+            self.advance()
+        base = self.parse_type_specifier()
+        while True:
+            d = self.parse_declarator(base, init_paren_ok=True)
+            loc = d.name_location or self.loc()
+            var_type = d.type or base
+            args: list[ExprInfo] = []
+            ctor_known = False
+            if self.at("("):
+                # T x(args): direct initialisation
+                args = self._parse_call_args()
+                ctor_known = True
+            elif self.accept("="):
+                init = self._parse_assignment()
+                args = [init]
+                ctor_known = True
+            if d.name:
+                self.binder.declare_local(d.name, var_type, loc)
+                self._record_local_construction(var_type, args, ctor_known, loc)
+            if self.accept(","):
+                continue
+            break
+        self.expect(terminator)
+
+    def _record_local_construction(
+        self,
+        var_type: Type,
+        args: list[ExprInfo],
+        ctor_known: bool,
+        loc: SourceLocation,
+    ) -> None:
+        """A class-typed local begins its lifetime here: record the
+        constructor call (default ctor when no initialiser)."""
+        cls = _owned_class(var_type)
+        if cls is None:
+            return
+        self._record_ctor(var_type, args if ctor_known else [], loc)

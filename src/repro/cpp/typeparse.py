@@ -1,0 +1,590 @@
+"""Type and declarator parsing.
+
+Covers decl-specifier sequences (builtin combinations, cv-qualifiers,
+named types, elaborated ``class X``, ``typename T::member``), template
+argument lists (with backtracking disambiguation against less-than), and
+declarators (pointers, references, arrays, function signatures with
+default arguments and throw-specs, qualified out-of-line member names,
+operator and conversion names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpp.cpptypes import NonTypeArg, TemplateIdType, Type
+from repro.cpp.diagnostics import CppError
+from repro.cpp.il import Class, Enum, Parameter, Template, TemplateKind, Typedef
+from repro.cpp.parserbase import DECL_SPECIFIERS, ParserBase
+from repro.cpp.source import SourceLocation
+from repro.cpp.tokens import KEYWORDS, TokenKind, tokens_to_text
+
+#: builtin type keyword combos; parsed greedily then canonicalised.
+_BUILTIN_WORDS = frozenset(
+    "void bool char wchar_t short int long float double signed unsigned".split()
+)
+
+
+@dataclass
+class DeclSpecs:
+    """Non-type decl-specifiers gathered alongside the type."""
+
+    storage: str = "NA"  # NA | static | extern
+    is_typedef: bool = False
+    is_virtual: bool = False
+    is_inline: bool = False
+    is_explicit: bool = False
+    is_friend: bool = False
+    is_mutable: bool = False
+
+
+@dataclass
+class Declarator:
+    """One parsed declarator."""
+
+    name: str = ""
+    name_location: Optional[SourceLocation] = None
+    #: Qualifier path for out-of-line members: [("Stack", [Object]), ...]
+    qualifier: list[tuple[str, Optional[list[Type]]]] = field(default_factory=list)
+    type: Optional[Type] = None
+    is_function: bool = False
+    parameters: list[Parameter] = field(default_factory=list)
+    ellipsis: bool = False
+    const: bool = False
+    exceptions: list[Type] = field(default_factory=list)
+    has_throw_spec: bool = False
+    is_destructor: bool = False
+    is_operator: bool = False
+    is_conversion: bool = False
+    initializer_text: Optional[str] = None
+    #: call-style init args were present: ``T x(a, b);``
+    paren_init: bool = False
+    array_sizes: list[Optional[int]] = field(default_factory=list)
+
+
+class TypeParserMixin(ParserBase):
+    """Type/declarator grammar; mixed into the full Parser."""
+
+    # -- entry points ------------------------------------------------------
+
+    def try_parse_type(self) -> Optional[Type]:
+        """Attempt to parse a type; rewinds and returns None on failure."""
+        mark = self.mark()
+        try:
+            return self.parse_type_specifier()
+        except CppError:
+            self.rewind(mark)
+            return None
+
+    def parse_type_specifier(self) -> Type:
+        """Parse ``cv* simple-type cv*`` with pointer/ref suffixes handled
+        by declarators, not here."""
+        const = volatile = False
+        while True:
+            if self.accept("const"):
+                const = True
+            elif self.accept("volatile"):
+                volatile = True
+            else:
+                break
+        base = self._parse_simple_type()
+        while True:
+            if self.accept("const"):
+                const = True
+            elif self.accept("volatile"):
+                volatile = True
+            else:
+                break
+        return self.types.qualified(base, const, volatile)
+
+    def parse_ptr_operators(self, t: Type) -> Type:
+        """Apply any ``*``/``&`` (with cv) decorations to ``t``."""
+        while True:
+            if self.at("*"):
+                self.advance()
+                t = self.types.pointer_to(t)
+                while True:
+                    if self.accept("const"):
+                        t = self.types.qualified(t, const=True)
+                    elif self.accept("volatile"):
+                        t = self.types.qualified(t, volatile=True)
+                    else:
+                        break
+            elif self.at("&"):
+                self.advance()
+                t = self.types.reference_to(t)
+            else:
+                return t
+
+    def parse_full_type(self) -> Type:
+        """A complete abstract type: specifier + ptr/ref ops + arrays.
+        Used for casts, template type arguments, and sizeof."""
+        t = self.parse_type_specifier()
+        t = self.parse_ptr_operators(t)
+        while self.at("["):
+            self.advance()
+            size = self._parse_array_size()
+            self.expect("]")
+            t = self.types.array_of(t, size)
+        return t
+
+    # -- simple types -----------------------------------------------------------
+
+    def _parse_simple_type(self) -> Type:
+        tok = self.cur
+        if tok.kind is not TokenKind.IDENT and not tok.is_punct("::"):
+            raise CppError(f"expected type, found {tok.text!r}", tok.location)
+        if tok.text in _BUILTIN_WORDS:
+            return self._parse_builtin_combo()
+        if tok.text in ("class", "struct", "union", "enum"):
+            # elaborated-type-specifier: "class X" names X
+            self.advance()
+            return self._parse_named_type()
+        if tok.text == "typename":
+            self.advance()
+            return self._parse_named_type(allow_dependent_member=True)
+        if tok.text in KEYWORDS:
+            raise CppError(f"keyword {tok.text!r} does not name a type", tok.location)
+        return self._parse_named_type()
+
+    def _parse_builtin_combo(self) -> Type:
+        words: list[str] = []
+        while self.cur.kind is TokenKind.IDENT and self.cur.text in _BUILTIN_WORDS:
+            words.append(self.advance().text)
+        return self.types.builtin(_canonical_builtin(words, self))
+
+    def _parse_named_type(self, allow_dependent_member: bool = False) -> Type:
+        """Parse a (possibly qualified, possibly templated) named type."""
+        self.accept("::")  # global qualification — lookup is absolute anyway
+        parts: list[tuple[str, Optional[list[Type]]]] = []
+        while True:
+            name_tok = self.expect_ident()
+            args: Optional[list[Type]] = None
+            if self.at("<"):
+                args = self.try_parse_template_args()
+            parts.append((name_tok.text, args))
+            if self.at("::") and self.peek(1).kind is TokenKind.IDENT and (
+                self.peek(1).text not in KEYWORDS or self.peek(1).text in _BUILTIN_WORDS
+            ):
+                self.advance()
+                continue
+            break
+        return self._resolve_named_type(parts, name_tok.location, allow_dependent_member)
+
+    def _resolve_named_type(
+        self,
+        parts: list[tuple[str, Optional[list[Type]]]],
+        loc: SourceLocation,
+        allow_dependent_member: bool,
+    ) -> Type:
+        """Turn a qualified-id into a Type, requesting class-template
+        instantiation when arguments are concrete (used-mode trigger)."""
+        # Resolve leading qualifier path step by step.
+        scope_types: list[Type] = []
+        binding = None
+        for i, (name, args) in enumerate(parts):
+            is_last = i == len(parts) - 1
+            if i == 0:
+                binding = self.binder.lookup(name)
+            else:
+                binding = self._member_of(scope_types[-1] if scope_types else None, binding, name)
+            binding = self._apply_template_args(binding, name, args, loc)
+            if binding is None:
+                if allow_dependent_member and scope_types and scope_types[-1].is_dependent:
+                    qual = scope_types[-1]
+                    for (nm, _a) in parts[i:]:
+                        qual = self.types.dependent_name(qual, nm)
+                    return qual
+                raise CppError(f"unknown type name {name!r}", loc)
+            t = self._binding_as_type(binding)
+            if t is None:
+                if is_last:
+                    raise CppError(f"{name!r} does not name a type", loc)
+                scope_types.append(self.types.unknown(name))
+                continue
+            scope_types.append(t)
+            if is_last:
+                return t
+        raise CppError("malformed type name", loc)
+
+    def _member_of(self, scope_type: Optional[Type], binding, name: str):
+        """Lookup ``name`` inside the scope named by the previous part."""
+        from repro.cpp.il import Namespace
+        from repro.cpp.scope import Binder
+
+        if isinstance(binding, Namespace):
+            return Binder.find_in_namespace(binding, name)
+        if isinstance(binding, Class):
+            return Binder.find_in_class(binding, name)
+        if scope_type is not None:
+            decl = scope_type.class_decl()
+            if decl is not None:
+                return Binder.find_in_class(decl, name)
+            if scope_type.is_dependent:
+                return None
+        return None
+
+    def _apply_template_args(self, binding, name: str, args: Optional[list[Type]], loc):
+        """If ``binding`` is a (list of) class template and args were
+        parsed, resolve to an instantiation (or dependent template-id)."""
+        if args is None:
+            return binding
+        templates: list[Template] = []
+        if isinstance(binding, list):
+            templates = [t for t in binding if isinstance(t, Template)]
+        elif isinstance(binding, Template):
+            templates = [binding]
+        elif isinstance(binding, Class) and binding.template_of is not None:
+            # injected-class-name with arguments (Node<T> inside Node<int>)
+            primary = binding.template_of
+            while primary.primary is not None:
+                primary = primary.primary
+            templates = [primary]
+        templates = [t for t in templates if t.kind is TemplateKind.CLASS and not t.is_specialization]
+        if not templates:
+            raise CppError(f"{name!r} is not a class template", loc)
+        template = templates[0]
+        if any(a.is_dependent for a in args):
+            return self.types.template_id(template, args)
+        assert self.engine is not None
+        cls = self.engine.instantiate_class(template, args, loc)
+        return cls
+
+    def _binding_as_type(self, binding) -> Optional[Type]:
+        from repro.cpp.il import Namespace
+
+        if binding is None:
+            return None
+        if isinstance(binding, Type):
+            return binding
+        if isinstance(binding, Class):
+            return self.types.class_type(binding)
+        if isinstance(binding, Typedef):
+            return self.types.typedef_type(binding)
+        if isinstance(binding, Enum):
+            return self.types.enum_type(binding)
+        if isinstance(binding, Namespace):
+            return None
+        return None
+
+    # -- template argument lists ----------------------------------------------
+
+    def try_parse_template_args(self) -> Optional[list[Type]]:
+        """Parse ``< ... >`` if it forms a valid template argument list;
+        rewinds and returns None otherwise (it was a less-than)."""
+        mark = self.mark()
+        try:
+            return self.parse_template_args()
+        except CppError:
+            self.rewind(mark)
+            return None
+
+    def parse_template_args(self) -> list[Type]:
+        self.expect("<")
+        args: list[Type] = []
+        if self.accept(">"):
+            return args
+        while True:
+            args.append(self._parse_template_arg())
+            if self.accept(">"):
+                return args
+            self.expect(",")
+
+    def _parse_template_arg(self) -> Type:
+        mark = self.mark()
+        try:
+            t = self.parse_full_type()
+        except CppError:
+            t = None
+            self.rewind(mark)
+        if t is not None and self.at_any(">", ","):
+            return t
+        self.rewind(mark)
+        # Non-type argument: collect constant-expression tokens verbatim.
+        depth = 0
+        toks = []
+        while not self.at_eof:
+            c = self.cur
+            if depth == 0 and (c.is_punct(">") or c.is_punct(",")):
+                break
+            if c.text in ("(", "[", "<"):
+                depth += 1
+            elif c.text in (")", "]"):
+                depth -= 1
+            elif c.is_punct(">") and depth > 0:
+                depth -= 1
+            toks.append(self.advance())
+        if not toks:
+            raise CppError("empty template argument", self.loc())
+        text = tokens_to_text(toks)
+        dependent = any(
+            tok.kind is TokenKind.IDENT
+            and isinstance(self.binder.lookup(tok.text), Type)
+            for tok in toks
+        ) or any(
+            tok.kind is TokenKind.IDENT
+            and any(tok.text in frame for frame in self.binder.tparam_stack)
+            for tok in toks
+        )
+        return self.types.nontype_arg(text, dependent)
+
+    # -- declarators ----------------------------------------------------------------
+
+    def parse_declarator(
+        self, base: Type, abstract: bool = False, init_paren_ok: bool = False
+    ) -> Declarator:
+        """Parse one declarator applied to ``base``.
+
+        ``init_paren_ok`` enables declaration-statement disambiguation:
+        a ``(`` that does not parse as a parameter list is left for the
+        caller as direct-initialisation arguments (``T x(n);``)."""
+        d = Declarator()
+        t = self.parse_ptr_operators(base)
+        self._parse_declarator_name(d, abstract)
+        # function-pointer form: ( * name )
+        if d.name == "" and self.at("(") and (
+            self.peek(1).is_punct("*") or self.peek(1).is_punct("&")
+        ):
+            self.advance()
+            inner_ref = self.advance().text
+            if self.at_plain_ident():
+                nm = self.advance()
+                d.name = nm.text
+                d.name_location = nm.location
+            self.expect(")")
+            params, ellipsis = self.parse_parameter_list()
+            ft = self.types.function(t, [p.type for p in params], ellipsis)
+            t = self.types.pointer_to(ft) if inner_ref == "*" else self.types.reference_to(ft)
+            d.type = t
+            return d
+        if self.at("("):
+            if init_paren_ok:
+                mark = self.mark()
+                try:
+                    params, ellipsis = self.parse_parameter_list()
+                except CppError:
+                    # direct-initialisation arguments, not a parameter list
+                    self.rewind(mark)
+                    d.paren_init = True
+                    d.type = t
+                    return d
+                d.is_function = True
+                d.parameters, d.ellipsis = params, ellipsis
+            else:
+                d.is_function = True
+                d.parameters, d.ellipsis = self.parse_parameter_list()
+            if self.accept("const"):
+                d.const = True
+            self.accept("volatile")
+            if self.at("throw"):
+                self.advance()
+                self.expect("(")
+                d.has_throw_spec = True
+                while not self.at(")"):
+                    d.exceptions.append(self.parse_full_type())
+                    if not self.accept(","):
+                        break
+                self.expect(")")
+            t = self.types.function(
+                t,
+                [p.type for p in d.parameters],
+                d.ellipsis,
+                d.const,
+                tuple(d.exceptions),
+                d.has_throw_spec,
+            )
+        else:
+            while self.at("["):
+                self.advance()
+                size = self._parse_array_size()
+                self.expect("]")
+                d.array_sizes.append(size)
+                t = self.types.array_of(t, size)
+        d.type = t
+        return d
+
+    def _parse_declarator_name(self, d: Declarator, abstract: bool) -> None:
+        """Parse the (possibly qualified) declarator name."""
+        while True:
+            if self.at("~"):
+                self.advance()
+                nm = self.expect_ident()
+                d.name = "~" + nm.text
+                d.name_location = nm.location
+                d.is_destructor = True
+                return
+            if self.at_ident("operator"):
+                op_tok = self.advance()
+                d.name_location = op_tok.location
+                d.is_operator = True
+                d.name = "operator" + self._parse_operator_name(d)
+                return
+            if self.at_plain_ident():
+                nm_tok = self.cur
+                # Qualified name? look ahead for <args>:: or ::
+                mark = self.mark()
+                self.advance()
+                args: Optional[list[Type]] = None
+                if self.at("<"):
+                    args = self.try_parse_template_args()
+                    if args is None:
+                        self.rewind(mark)
+                        self.advance()
+                if self.at("::"):
+                    self.advance()
+                    d.qualifier.append((nm_tok.text, args))
+                    continue
+                if args is not None:
+                    # declarator name with explicit template args
+                    # (explicit specialization of a function template)
+                    d.name = nm_tok.text
+                    d.name_location = nm_tok.location
+                    d.qualifier_args = args  # type: ignore[attr-defined]
+                    return
+                d.name = nm_tok.text
+                d.name_location = nm_tok.location
+                return
+            if abstract:
+                return
+            if self.at("(") and (self.peek(1).is_punct("*") or self.peek(1).is_punct("&")):
+                return  # function-pointer declarator: handled by the caller
+            raise CppError(
+                f"expected declarator name, found {self.cur.text!r}", self.cur.location
+            )
+
+    def _parse_operator_name(self, d: Declarator) -> str:
+        """After the ``operator`` keyword: the operator symbol or a
+        conversion type."""
+        t = self.cur
+        if t.is_punct("("):
+            self.advance()
+            self.expect(")")
+            return "()"
+        if t.is_punct("["):
+            self.advance()
+            self.expect("]")
+            return "[]"
+        if t.kind is TokenKind.PUNCT:
+            op = self.advance().text
+            # new[]/delete[] handled below; composite "->*" etc. lexed whole
+            return op
+        if t.text in ("new", "delete"):
+            word = self.advance().text
+            if self.at("["):
+                self.advance()
+                self.expect("]")
+                return f" {word}[]"
+            return f" {word}"
+        # conversion operator: operator bool(), operator T*()
+        d.is_conversion = True
+        conv = self.parse_type_specifier()
+        conv = self.parse_ptr_operators(conv)
+        return " " + conv.spelling()
+
+    def _parse_array_size(self) -> Optional[int]:
+        """Array extent: literal integer, or None for anything else
+        (dependent or computed sizes are preserved structurally only)."""
+        if self.at("]"):
+            return None
+        toks = []
+        depth = 0
+        while not self.at_eof:
+            if self.at("]") and depth == 0:
+                break
+            if self.cur.text in ("(", "["):
+                depth += 1
+            elif self.cur.text in (")", "]"):
+                depth -= 1
+            toks.append(self.advance())
+        if len(toks) == 1 and toks[0].kind is TokenKind.NUMBER:
+            try:
+                return int(toks[0].text.rstrip("uUlL"), 0)
+            except ValueError:
+                return None
+        return None
+
+    # -- parameter lists -----------------------------------------------------------
+
+    def parse_parameter_list(self) -> tuple[list[Parameter], bool]:
+        """Parse ``( params )``; returns (parameters, ellipsis)."""
+        self.expect("(")
+        params: list[Parameter] = []
+        ellipsis = False
+        if self.accept(")"):
+            return params, ellipsis
+        # "(void)" is an empty parameter list
+        if self.at("void") and self.peek(1).is_punct(")"):
+            self.advance()
+            self.advance()
+            return params, ellipsis
+        while True:
+            if self.at("..."):
+                self.advance()
+                ellipsis = True
+                break
+            base = self.parse_type_specifier()
+            d = self.parse_declarator(base, abstract=True)
+            default_text: Optional[str] = None
+            if self.accept("="):
+                default_text = self._collect_default_arg()
+            params.append(
+                Parameter(
+                    name=d.name,
+                    type=d.type or base,
+                    default_text=default_text,
+                    location=d.name_location,
+                )
+            )
+            if not self.accept(","):
+                break
+        self.expect(")")
+        return params, ellipsis
+
+    def _collect_default_arg(self) -> str:
+        toks = []
+        depth = 0
+        while not self.at_eof:
+            c = self.cur
+            if depth == 0 and (c.is_punct(",") or c.is_punct(")")):
+                break
+            if c.text in ("(", "[", "{"):
+                depth += 1
+            elif c.text in (")", "]", "}"):
+                depth -= 1
+            toks.append(self.advance())
+        return tokens_to_text(toks)
+
+
+def _canonical_builtin(words: list[str], parser: TypeParserMixin) -> str:
+    """Canonicalise a builtin keyword combo to a TypeTable builtin name."""
+    if not words:
+        raise CppError("expected builtin type", parser.loc())
+    unsigned = "unsigned" in words
+    signed = "signed" in words
+    core = [w for w in words if w not in ("unsigned", "signed")]
+    longs = core.count("long")
+    core = [w for w in core if w != "long"]
+    shorts = "short" in words
+    core = [w for w in core if w != "short"]
+    base = core[0] if core else "int"
+    if base in ("void", "bool", "wchar_t"):
+        return base
+    if base == "char":
+        if unsigned:
+            return "unsigned char"
+        if signed:
+            return "signed char"
+        return "char"
+    if base in ("float",):
+        return "float"
+    if base == "double":
+        return "long double" if longs else "double"
+    # integer family
+    if shorts:
+        return "unsigned short" if unsigned else "short"
+    if longs >= 2:
+        return "unsigned long long" if unsigned else "long long"
+    if longs == 1:
+        return "unsigned long" if unsigned else "long"
+    return "unsigned int" if unsigned else "int"

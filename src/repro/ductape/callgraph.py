@@ -1,0 +1,71 @@
+"""Static call tree (paper Section 3.3 / Figure 5).
+
+"Functions instantiated from templates are automatically included in the
+vector of called functions" — nothing special is needed here because the
+IL Analyzer resolved template calls to the instantiated routines.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.ductape.items import ACTIVE, INACTIVE, PdbRoutine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ductape.pdb import PDB
+
+
+class CallTree:
+    """The static call graph over a PDB's routines."""
+
+    def __init__(self, pdb: "PDB"):
+        self.pdb = pdb
+        self.routines = pdb.getRoutineVec()
+        called = set()
+        for r in self.routines:
+            for c in r.callees():
+                callee = c.call()
+                if callee is not None:
+                    called.add(callee.ref)
+        #: routines nobody calls — the tree roots (main among them)
+        self.roots = [r for r in self.routines if r.ref not in called]
+
+    def root_named(self, name: str) -> Optional[PdbRoutine]:
+        for r in self.roots:
+            if r.name() == name or r.fullName() == name:
+                return r
+        return None
+
+    def walk(
+        self, root: PdbRoutine
+    ) -> Iterator[tuple[PdbRoutine, int, bool, bool]]:
+        """DFS yielding (routine, depth, is_virtual_call, is_cycle).
+
+        Cycles are detected with the routine flag, exactly as
+        printFuncTree does in paper Figure 5."""
+
+        def rec(r: PdbRoutine, depth: int):
+            r.flag(ACTIVE)
+            try:
+                for call in r.callees():
+                    callee = call.call()
+                    if callee is None:
+                        continue
+                    cyclic = callee.flag() == ACTIVE
+                    yield callee, depth, call.isVirtual(), cyclic
+                    if not cyclic:
+                        yield from rec(callee, depth + 1)
+            finally:
+                r.flag(INACTIVE)
+
+        yield root, -1, False, False
+        yield from rec(root, 0)
+
+    def reachable_from(self, root: PdbRoutine) -> list[PdbRoutine]:
+        seen: dict = {}
+        for r, _depth, _virt, _cyc in self.walk(root):
+            seen.setdefault(r.ref, r)
+        return list(seen.values())
+
+    def edge_count(self) -> int:
+        return sum(len(r.callees()) for r in self.routines)

@@ -1,0 +1,52 @@
+"""Class hierarchy (paper Section 3.3 / pdbtree)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.ductape.items import PdbClass
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ductape.pdb import PDB
+
+
+class ClassHierarchy:
+    """The inheritance forest over a PDB's classes."""
+
+    def __init__(self, pdb: "PDB"):
+        self.pdb = pdb
+        self.classes = pdb.getClassVec()
+        #: classes with no bases — hierarchy roots
+        self.roots = [c for c in self.classes if not c.baseClasses()]
+
+    def derived(self, cls: PdbClass) -> list[PdbClass]:
+        return cls.derivedClasses()
+
+    def walk(self, root: PdbClass) -> Iterator[tuple[PdbClass, int]]:
+        seen: set = set()
+
+        def rec(c: PdbClass, depth: int):
+            yield c, depth
+            if c.ref in seen:
+                return
+            seen.add(c.ref)
+            for d in self.derived(c):
+                yield from rec(d, depth + 1)
+
+        yield from rec(root, 0)
+
+    def depth_of(self, cls: PdbClass) -> int:
+        """Longest base-class chain above ``cls``."""
+        bases = cls.baseClasses()
+        if not bases:
+            return 0
+        return 1 + max(self.depth_of(b) for _, _, b in bases)
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for root in self.roots:
+            for c, depth in self.walk(root):
+                indent = "    " * depth
+                arrow = "`--> " if depth else ""
+                lines.append(f"{indent}{arrow}{c.fullName()}")
+        return "\n".join(lines)

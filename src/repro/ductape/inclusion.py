@@ -1,0 +1,48 @@
+"""Source-file inclusion tree (paper Section 3.3 / pdbtree)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.ductape.items import PdbFile
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ductape.pdb import PDB
+
+
+class InclusionTree:
+    """The ``#include`` forest over a PDB's source files."""
+
+    def __init__(self, pdb: "PDB"):
+        self.pdb = pdb
+        self.files = pdb.getFileVec()
+        included = {inc.ref for f in self.files for inc in f.includes()}
+        #: files nothing includes — the translation-unit roots
+        self.roots = [f for f in self.files if f.ref not in included]
+
+    def children(self, f: PdbFile) -> list[PdbFile]:
+        return f.includes()
+
+    def walk(self, root: PdbFile) -> Iterator[tuple[PdbFile, int]]:
+        """Depth-first (file, depth) pairs; repeated files are cut."""
+        seen: set = set()
+
+        def rec(f: PdbFile, depth: int):
+            yield f, depth
+            if f.ref in seen:
+                return
+            seen.add(f.ref)
+            for inc in f.includes():
+                yield from rec(inc, depth + 1)
+
+        yield from rec(root, 0)
+
+    def render(self) -> str:
+        """Indented text rendering, one root per block."""
+        lines: list[str] = []
+        for root in self.roots:
+            for f, depth in self.walk(root):
+                indent = "    " * depth
+                arrow = "`--> " if depth else ""
+                lines.append(f"{indent}{arrow}{f.name()}")
+        return "\n".join(lines)

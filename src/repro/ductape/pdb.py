@@ -1,0 +1,263 @@
+"""The PDB class: an entire program database (paper Section 3.3).
+
+"It provides methods to read, write, and merge PDB files, and to get the
+source file inclusion tree, the static call tree, and the class
+hierarchy.  It provides a list of all items contained in the PDB file as
+well as lists of all defined types, files, classes, routines, templates,
+macros, and namespaces."
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ductape.items import (
+    ITEM_CLASSES,
+    PdbClass,
+    PdbFile,
+    PdbMacro,
+    PdbNamespace,
+    PdbRoutine,
+    PdbSimpleItem,
+    PdbTemplate,
+    PdbType,
+)
+from repro.pdbfmt.items import Attribute, ItemRef, PdbDocument, RawItem
+from repro.pdbfmt.reader import parse_pdb
+from repro.pdbfmt.writer import write_pdb
+
+_REF_WORD = re.compile(r"^(so|ro|cl|ty|te|na|ma)#(\d+)$")
+
+
+@dataclass
+class MergeStats:
+    """Outcome of one :meth:`PDB.merge` call."""
+
+    items_in: int = 0
+    items_added: int = 0
+    duplicates_eliminated: int = 0
+    duplicate_instantiations: int = 0
+
+
+class PDB:
+    """An entire PDB file, with navigation and merge support."""
+
+    def __init__(self, doc: Optional[PdbDocument] = None):
+        self.doc = doc or PdbDocument()
+        self._index: dict[ItemRef, PdbSimpleItem] = {}
+        self._reindex()
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text: str) -> "PDB":
+        return cls(parse_pdb(text))
+
+    @classmethod
+    def read(cls, path: str) -> "PDB":
+        with open(path) as f:
+            return cls.from_text(f.read())
+
+    @classmethod
+    def from_il(cls, tree) -> "PDB":
+        """Convenience: run the IL Analyzer and wrap the result."""
+        from repro.analyzer import analyze
+
+        return cls(analyze(tree))
+
+    def _reindex(self) -> None:
+        self._index.clear()
+        for raw in self.doc.items:
+            wrapper_cls = ITEM_CLASSES.get(raw.prefix, PdbSimpleItem)
+            self._index[raw.ref] = wrapper_cls(self, raw)
+
+    # -- output ------------------------------------------------------------
+
+    def to_text(self) -> str:
+        return write_pdb(self.doc)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as f:
+            f.write(self.to_text())
+
+    # -- lookup -------------------------------------------------------------
+
+    def item(self, ref: ItemRef) -> Optional[PdbSimpleItem]:
+        return self._index.get(ref)
+
+    def items(self) -> list[PdbSimpleItem]:
+        return [self._index[raw.ref] for raw in self.doc.items]
+
+    def _vec(self, prefix: str) -> list:
+        return [self._index[raw.ref] for raw in self.doc.items if raw.prefix == prefix]
+
+    def getFileVec(self) -> list[PdbFile]:
+        return self._vec("so")
+
+    def getRoutineVec(self) -> list[PdbRoutine]:
+        return self._vec("ro")
+
+    def getClassVec(self) -> list[PdbClass]:
+        return self._vec("cl")
+
+    def getTypeVec(self) -> list[PdbType]:
+        return self._vec("ty")
+
+    def getTemplateVec(self) -> list[PdbTemplate]:
+        return self._vec("te")
+
+    def getNamespaceVec(self) -> list[PdbNamespace]:
+        return self._vec("na")
+
+    def getMacroVec(self) -> list[PdbMacro]:
+        return self._vec("ma")
+
+    def findRoutine(self, full_name: str) -> Optional[PdbRoutine]:
+        for r in self.getRoutineVec():
+            if r.fullName() == full_name or r.name() == full_name:
+                return r
+        return None
+
+    def findClass(self, name: str) -> Optional[PdbClass]:
+        for c in self.getClassVec():
+            if c.fullName() == name or c.name() == name:
+                return c
+        return None
+
+    # -- derived structure queries ----------------------------------------------
+
+    def callers_of(self, routine: PdbRoutine) -> list[PdbRoutine]:
+        out = []
+        for r in self.getRoutineVec():
+            if any(c.call() is routine for c in r.callees()):
+                out.append(r)
+        return out
+
+    def derived_of(self, cls: PdbClass) -> list[PdbClass]:
+        out = []
+        for c in self.getClassVec():
+            if any(base is cls for _, _, base in c.baseClasses()):
+                out.append(c)
+        return out
+
+    def getInclusionTree(self):
+        from repro.ductape.inclusion import InclusionTree
+
+        return InclusionTree(self)
+
+    def getCallTree(self):
+        from repro.ductape.callgraph import CallTree
+
+        return CallTree(self)
+
+    def getClassHierarchy(self):
+        from repro.ductape.classhier import ClassHierarchy
+
+        return ClassHierarchy(self)
+
+    # -- merge ------------------------------------------------------------------
+
+    def merge(self, other: "PDB") -> MergeStats:
+        """Merge ``other`` into this PDB, eliminating duplicate items —
+        in particular duplicate template instantiations from separate
+        compilations (paper Table 2, pdbmerge)."""
+        stats = MergeStats(items_in=len(other.doc.items))
+        self_index = self.doc.index()
+        other_index = other.doc.index()
+        self_keys: dict[tuple, RawItem] = {}
+        for raw in self.doc.items:
+            self_keys[_item_key(self_index, raw)] = raw
+        remap: dict[str, str] = {}
+        counters: dict[str, int] = {}
+        for raw in self.doc.items:
+            counters[raw.prefix] = max(counters.get(raw.prefix, 0), raw.id)
+        pending: list[RawItem] = []
+        for raw in other.doc.items:
+            key = _item_key(other_index, raw)
+            existing = self_keys.get(key)
+            if existing is not None:
+                remap[str(raw.ref)] = str(existing.ref)
+                stats.duplicates_eliminated += 1
+                if raw.prefix in ("cl", "ro") and raw.get("ctempl" if raw.prefix == "cl" else "rtempl"):
+                    stats.duplicate_instantiations += 1
+                continue
+            counters[raw.prefix] = counters.get(raw.prefix, 0) + 1
+            clone = RawItem(prefix=raw.prefix, id=counters[raw.prefix], name=raw.name)
+            for a in raw.attributes:
+                clone.attributes.append(Attribute(a.key, list(a.words), a.text))
+            remap[str(raw.ref)] = str(clone.ref)
+            pending.append(clone)
+            self_keys[key] = clone
+            stats.items_added += 1
+        for clone in pending:
+            for a in clone.attributes:
+                a.words = [_remap_word(w, remap) for w in a.words]
+            self.doc.items.append(clone)
+        self._reindex()
+        return stats
+
+
+def _remap_word(word: str, remap: dict[str, str]) -> str:
+    if _REF_WORD.match(word):
+        return remap.get(word, word)
+    return word
+
+
+def _item_key(index: dict, raw: RawItem) -> tuple:
+    """Identity key for merge deduplication.
+
+    Two items from separate compilations are "the same entity" when their
+    kind, name, and defining source position coincide — template
+    instantiations share the template's definition position, so repeated
+    ``Stack<int>`` subtrees collapse (the paper's headline merge feature).
+    """
+    loc_key = _loc_key(index, raw)
+    if raw.prefix == "so":
+        return ("so", raw.name)
+    if raw.prefix == "ty":
+        return ("ty", raw.name, _parent_name(index, raw, "yclass", "ynspace"))
+    if raw.prefix == "ma":
+        return ("ma", raw.name, loc_key)
+    if raw.prefix == "na":
+        return ("na", raw.name, _parent_name(index, raw, "", "nnspace"))
+    if raw.prefix == "te":
+        return ("te", raw.name, loc_key, raw.first_word("tkind"))
+    if raw.prefix == "cl":
+        return ("cl", raw.name, _parent_name(index, raw, "cclass", "cnspace"), loc_key)
+    if raw.prefix == "ro":
+        sig = raw.get_ref("rsig")
+        sig_name = ""
+        if sig is not None:
+            sig_item = index.get(sig)
+            sig_name = sig_item.name if sig_item is not None else ""
+        return (
+            "ro",
+            raw.name,
+            _parent_name(index, raw, "rclass", "rnspace"),
+            sig_name,
+            loc_key,
+        )
+    return (raw.prefix, raw.name, loc_key)
+
+
+def _loc_key(index: dict, raw: RawItem) -> tuple:
+    for key in ("rloc", "cloc", "tloc", "nloc", "maloc", "yloc"):
+        loc = raw.get_location(key)
+        if loc is not None and loc.file is not None:
+            f = index.get(loc.file)
+            return (f.name if f is not None else "?", loc.line, loc.column)
+    return ()
+
+
+def _parent_name(index: dict, raw: RawItem, class_key: str, ns_key: str) -> str:
+    for key in (class_key, ns_key):
+        if not key:
+            continue
+        ref = raw.get_ref(key)
+        if ref is not None:
+            parent = index.get(ref)
+            if parent is not None:
+                return f"{ref.prefix}:{parent.name}"
+    return ""

@@ -1,0 +1,39 @@
+"""Fortran 90 front-end driver: sources -> the common ILTree.
+
+Multiple files compile into one tree (Fortran's module model is
+program-wide); compile files defining modules before files using them,
+as a Fortran build would.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpp.diagnostics import DiagnosticSink
+from repro.cpp.il import ILTree
+from repro.cpp.source import SourceManager
+from repro.fortran.parser import FortranParser
+
+
+class FortranFrontend:
+    """Compiles Fortran 90 sources into an ILTree the (unchanged) IL
+    Analyzer, DUCTAPE, and tools consume."""
+
+    def __init__(self, manager: Optional[SourceManager] = None):
+        self.manager = manager or SourceManager()
+        self.sink = DiagnosticSink(fatal_errors=False)
+
+    def register_files(self, files: dict[str, str]) -> None:
+        self.manager.register_many(files)
+
+    def compile(self, file_names: list[str]) -> ILTree:
+        """Compile the named files, in order, into one tree."""
+        tree = ILTree()
+        parser = FortranParser(tree, self.sink)
+        for name in file_names:
+            src = self.manager.load(name)
+            parser.parse_file(src)
+            tree.files.append(src)
+        if tree.files:
+            tree.main_file = tree.files[-1]
+        return tree

@@ -1,0 +1,127 @@
+"""Fortran 90 free-form statement scanner.
+
+Fortran is line-oriented: the unit of parsing is the *statement*, built
+from source lines after handling ``!`` comments (outside character
+context), ``&`` continuations, and ``;`` statement separators.  Each
+:class:`Stmt` keeps the location of its first token for the PDB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpp.source import SourceFile, SourceLocation
+
+
+@dataclass
+class Stmt:
+    """One logical Fortran statement: normalised text + location."""
+
+    text: str  # single-spaced, original case preserved
+    location: SourceLocation
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+
+def split_statements(file: SourceFile) -> list[Stmt]:
+    """Split a free-form source file into logical statements."""
+    stmts: list[Stmt] = []
+    pending: str = ""
+    pending_loc: SourceLocation | None = None
+    for line_no, raw in enumerate(file.text.splitlines(), start=1):
+        code = _strip_comment(raw)
+        stripped = code.strip()
+        if not stripped:
+            continue
+        start_col = len(code) - len(code.lstrip()) + 1
+        if pending:
+            # continuation: drop a leading '&' continuation marker
+            if stripped.startswith("&"):
+                stripped = stripped[1:].lstrip()
+            pending = pending + " " + stripped
+        else:
+            pending = stripped
+            pending_loc = SourceLocation(file, line_no, start_col)
+        if pending.endswith("&"):
+            pending = pending[:-1].rstrip()
+            continue
+        for piece in _split_semicolons(pending):
+            piece = piece.strip()
+            if piece:
+                stmts.append(Stmt(_normalise(piece), pending_loc))
+        pending = ""
+        pending_loc = None
+    if pending and pending_loc is not None:
+        stmts.append(Stmt(_normalise(pending), pending_loc))
+    return stmts
+
+
+def _strip_comment(line: str) -> str:
+    """Remove a trailing ``!`` comment, respecting character literals."""
+    out = []
+    quote: str | None = None
+    for ch in line:
+        if quote is not None:
+            out.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            out.append(ch)
+            continue
+        if ch == "!":
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _split_semicolons(text: str) -> list[str]:
+    parts: list[str] = []
+    quote: str | None = None
+    current: list[str] = []
+    for ch in text:
+        if quote is not None:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            current.append(ch)
+            continue
+        if ch == ";":
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+def _normalise(text: str) -> str:
+    """Collapse runs of whitespace outside character literals."""
+    out: list[str] = []
+    quote: str | None = None
+    last_space = False
+    for ch in text:
+        if quote is not None:
+            out.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            out.append(ch)
+            last_space = False
+            continue
+        if ch.isspace():
+            if not last_space:
+                out.append(" ")
+                last_space = True
+            continue
+        out.append(ch)
+        last_space = False
+    return "".join(out).strip()

@@ -1,0 +1,578 @@
+"""Fortran 90 subset parser -> the common IL.
+
+Statement-driven recursive parser over :func:`repro.fortran.lexer.
+split_statements`.  Implements the paper's Section 6 construct mapping
+(modules -> namespaces, derived types -> classes, interfaces -> routines
+with aliases) plus what TAU needs: routine entry/exit locations and a
+static call graph (``call`` statements and function references resolved
+against the visible symbol table).
+
+Supported subset: free-form source; ``module``/``contains``/``use``;
+derived types with typed components (including ``dimension`` and
+``pointer`` attributes); ``subroutine``/``function`` (with ``result``),
+dummy-argument typing via ``::`` declarations with ``intent``;
+generic ``interface`` blocks with ``module procedure``; ``call``;
+function references in expressions; ``do``/``if``/``select`` nesting;
+``return`` exit points; ``program`` units.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.cpp.cpptypes import Type, TypeTable
+from repro.cpp.diagnostics import DiagnosticSink
+from repro.cpp.il import (
+    Class,
+    ClassKind,
+    Field,
+    ILTree,
+    ItemPosition,
+    Namespace,
+    Parameter,
+    Routine,
+    RoutineKind,
+    SourceRange,
+    Variable,
+)
+from repro.cpp.source import SourceFile, SourceLocation
+from repro.fortran.lexer import Stmt, split_statements
+
+
+class FortranParseError(Exception):
+    """Unrecoverable Fortran parse error."""
+
+    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+        self.location = location
+        where = f"{location}: " if location else ""
+        super().__init__(f"{where}{message}")
+
+
+#: intrinsic procedures never treated as user call targets
+INTRINSICS = frozenset(
+    """
+    abs sqrt exp log log10 sin cos tan asin acos atan atan2 sinh cosh tanh
+    min max mod modulo sign int nint real dble cmplx aimag conjg floor
+    ceiling size shape lbound ubound allocated associated present len
+    len_trim trim adjustl adjustr index char ichar achar iachar matmul
+    dot_product transpose sum product maxval minval maxloc minloc count
+    any all merge pack unpack reshape spread huge tiny epsilon kind
+    selected_int_kind selected_real_kind allocate deallocate nullify
+    """.split()
+)
+
+_TYPE_SPEC = (
+    r"(?:integer|real|double\s+precision|logical|complex|"
+    r"character(?:\s*\([^)]*\))?|type\s*\(\s*\w+\s*\))"
+)
+
+_RE_MODULE = re.compile(r"^module\s+(\w+)$", re.I)
+_RE_PROGRAM = re.compile(r"^program\s+(\w+)$", re.I)
+_RE_USE = re.compile(r"^use\s+(\w+)", re.I)
+_RE_CONTAINS = re.compile(r"^contains$", re.I)
+_RE_TYPE_DEF = re.compile(r"^type\s*(?:,\s*(?:public|private)\s*)?(?:::\s*)?(\w+)$", re.I)
+_RE_SUBROUTINE = re.compile(
+    r"^(?:pure\s+|elemental\s+|recursive\s+)*subroutine\s+(\w+)\s*(?:\(([^)]*)\))?$",
+    re.I,
+)
+_RE_FUNCTION = re.compile(
+    r"^(?:pure\s+|elemental\s+|recursive\s+)*(" + _TYPE_SPEC + r"\s+)?"
+    r"function\s+(\w+)\s*\(([^)]*)\)\s*(?:result\s*\(\s*(\w+)\s*\))?$",
+    re.I,
+)
+_RE_INTERFACE = re.compile(r"^interface(?:\s+(\w+))?$", re.I)
+_RE_MODULE_PROC = re.compile(r"^module\s+procedure\s+(.+)$", re.I)
+_RE_CALL = re.compile(r"^call\s+(\w+)\s*(\(.*\))?$", re.I)
+_RE_DECL = re.compile(
+    r"^(" + _TYPE_SPEC + r")\s*((?:,\s*[\w()=: ]+)*)\s*::\s*(.+)$", re.I
+)
+_RE_END = re.compile(
+    r"^end(?:\s+(module|program|type|subroutine|function|interface|do|if|select|where))?(?:\s+\w+)?$",
+    re.I,
+)
+_RE_BLOCK_START = re.compile(
+    r"^(?:\w+\s*:\s*)?(?:do(\s|$)|select\s+case|where\s*\(.*\)$|"
+    r"if\s*\(.*\)\s*then$|forall\s*\(.*\)$)",
+    re.I,
+)
+_RE_RETURN = re.compile(r"^return$", re.I)
+_RE_FUNC_REF = re.compile(r"\b([a-zA-Z]\w*)\s*\(")
+_RE_STRINGS = re.compile(r"'[^']*'|\"[^\"]*\"")
+
+
+class FortranParser:
+    """Parses one Fortran source file into an ILTree."""
+
+    def __init__(self, tree: ILTree, sink: Optional[DiagnosticSink] = None):
+        self.tree = tree
+        self.types: TypeTable = tree.types
+        self.sink = sink or DiagnosticSink(fatal_errors=False)
+        self._stmts: list[Stmt] = []
+        self._pos = 0
+        #: lower-cased routine name -> Routine, per visible scope chain
+        self._module_routines: dict[str, dict[str, Routine]] = {}
+        #: generic interface name -> specific routine names (per module)
+        self._generics: dict[str, dict[str, list[str]]] = {}
+        #: forward references awaiting resolution: (caller, name, loc,
+        #: registry, uses) — module procedures are mutually visible, so
+        #: a call can precede its target's definition
+        self._pending_refs: list[tuple] = []
+
+    # -- statement cursor ------------------------------------------------
+
+    def _peek(self) -> Optional[Stmt]:
+        return self._stmts[self._pos] if self._pos < len(self._stmts) else None
+
+    def _next(self) -> Stmt:
+        s = self._stmts[self._pos]
+        self._pos += 1
+        return s
+
+    # -- driver ------------------------------------------------------------
+
+    def parse_file(self, file: SourceFile) -> None:
+        self._stmts = split_statements(file)
+        self._pos = 0
+        while self._peek() is not None:
+            s = self._peek()
+            low = s.lower
+            if _RE_MODULE.match(low) and not _RE_MODULE_PROC.match(low):
+                self._parse_module()
+            elif _RE_PROGRAM.match(low):
+                self._parse_program()
+            elif _RE_SUBROUTINE.match(s.text) or _RE_FUNCTION.match(s.text):
+                self._parse_procedure(self.tree.global_namespace, {}, [])
+            else:
+                self._next()  # tolerated top-level noise
+        self._resolve_pending()
+
+    # -- modules -----------------------------------------------------------------
+
+    def _parse_module(self) -> None:
+        head = self._next()
+        name = _RE_MODULE.match(head.lower).group(1)
+        orig_name = head.text.split()[1]
+        ns = Namespace(orig_name, head.location, self.tree.global_namespace)
+        self.tree.global_namespace.namespaces.append(ns)
+        self.tree.register_namespace(ns)
+        ns.position.header = SourceRange(head.location, head.location)
+        self._module_routines.setdefault(name.lower(), {})
+        self._generics.setdefault(name.lower(), {})
+        uses: list[str] = []
+        in_contains = False
+        body_begin: Optional[SourceLocation] = None
+        while self._peek() is not None:
+            s = self._peek()
+            low = s.lower
+            m_end = _RE_END.match(low)
+            if m_end and m_end.group(1) in ("module", None) and not in_contains_block(low):
+                end = self._next()
+                ns.position.body = SourceRange(body_begin or head.location, end.location)
+                break
+            if body_begin is None:
+                body_begin = s.location
+            if _RE_USE.match(low):
+                uses.append(_RE_USE.match(low).group(1).lower())
+                self._next()
+            elif _RE_CONTAINS.match(low):
+                in_contains = True
+                self._next()
+            elif _RE_TYPE_DEF.match(s.text) and not low.startswith("type("):
+                self._parse_derived_type(ns, uses)
+            elif _RE_INTERFACE.match(low):
+                self._parse_interface(ns)
+            elif in_contains and (
+                _RE_SUBROUTINE.match(s.text) or _RE_FUNCTION.match(s.text)
+            ):
+                self._parse_procedure(ns, self._module_routines[name.lower()], uses)
+            elif _RE_DECL.match(s.text):
+                self._parse_module_variable(ns, self._next(), uses)
+            else:
+                self._next()
+        self._resolve_generics(ns, name.lower())
+        self._resolve_pending()
+
+    def _resolve_generics(self, ns: Namespace, module_key: str) -> None:
+        """Attach generic-interface alias names to their specific
+        routines — 'Fortran interfaces will correspond to routines with
+        aliases' (paper Section 6)."""
+        table = self._module_routines.get(module_key, {})
+        for generic, specifics in self._generics.get(module_key, {}).items():
+            for spec_name in specifics:
+                r = table.get(spec_name.lower())
+                if r is None:
+                    self.sink.warn(
+                        f"interface {generic}: unknown module procedure {spec_name}"
+                    )
+                    continue
+                aliases = r.flags.setdefault("aliases", [])
+                aliases.append(generic)  # type: ignore[union-attr]
+
+    def _parse_interface(self, ns: Namespace) -> None:
+        head = self._next()
+        generic = _RE_INTERFACE.match(head.lower).group(1)
+        module_key = ns.name.lower()
+        while self._peek() is not None:
+            s = self._next()
+            low = s.lower
+            m_end = _RE_END.match(low)
+            if m_end and m_end.group(1) in ("interface", None):
+                return
+            mp = _RE_MODULE_PROC.match(low)
+            if mp and generic:
+                names = [n.strip() for n in mp.group(1).split(",")]
+                self._generics.setdefault(module_key, {}).setdefault(
+                    generic, []
+                ).extend(names)
+
+    def _parse_module_variable(self, ns: Namespace, s: Stmt, uses: list[str]) -> None:
+        m = _RE_DECL.match(s.text)
+        if m is None:
+            return
+        base = self._resolve_type(m.group(1), ns, uses)
+        for name, entity_type in self._entities(m.group(3), base, m.group(2) or ""):
+            if name is None:
+                continue
+            v = Variable(name, s.location, ns, entity_type)
+            ns.variables.append(v)
+            self.tree.register_variable(v)
+
+    # -- derived types -------------------------------------------------------------
+
+    def _parse_derived_type(self, ns: Namespace, uses: list[str]) -> None:
+        head = self._next()
+        name = _RE_TYPE_DEF.match(head.text).group(1)
+        cls = Class(name, head.location, ns, ClassKind.STRUCT)
+        cls.defined = True
+        cls.position.header = SourceRange(head.location, head.location)
+        ns.classes.append(cls)
+        self.tree.register_class(cls)
+        body_begin: Optional[SourceLocation] = None
+        while self._peek() is not None:
+            s = self._next()
+            low = s.lower
+            m_end = _RE_END.match(low)
+            if m_end and m_end.group(1) in ("type", None):
+                cls.position.body = SourceRange(body_begin or head.location, s.location)
+                return
+            if body_begin is None:
+                body_begin = s.location
+            m = _RE_DECL.match(s.text)
+            if m is not None:
+                base = self._resolve_type(m.group(1), ns, uses)
+                for comp_name, comp_type in self._entities(
+                    m.group(3), base, m.group(2) or ""
+                ):
+                    if comp_name is None:
+                        continue
+                    f = Field(comp_name, s.location, cls, comp_type)
+                    from repro.cpp.il import Access
+
+                    f.access = Access.PUBLIC
+                    cls.fields.append(f)
+        raise FortranParseError(f"unterminated type {name}", head.location)
+
+    # -- procedures ------------------------------------------------------------------
+
+    def _parse_procedure(
+        self,
+        parent: Namespace,
+        registry: dict[str, Routine],
+        uses: list[str],
+    ) -> None:
+        head = self._next()
+        msub = _RE_SUBROUTINE.match(head.text)
+        mfun = _RE_FUNCTION.match(head.text)
+        if msub is not None:
+            name = msub.group(1)
+            arg_text = msub.group(2) or ""
+            result_name = None
+            ret: Type = self.types.void
+            end_kw = "subroutine"
+            ret_spec = None
+        else:
+            assert mfun is not None
+            ret_spec = mfun.group(1)
+            name = mfun.group(2)
+            arg_text = mfun.group(3) or ""
+            result_name = mfun.group(4) or name
+            ret = (
+                self._resolve_type(ret_spec.strip(), parent, uses)
+                if ret_spec
+                else self.types.builtin("float")
+            )
+            end_kw = "function"
+        arg_names = [a.strip() for a in arg_text.split(",") if a.strip()]
+        params = [
+            Parameter(name=a, type=self.types.builtin("float"), location=head.location)
+            for a in arg_names
+        ]
+        sig = self.types.function(ret, [p.type for p in params])
+        r = Routine(name, head.location, parent, sig, RoutineKind.FUNCTION)
+        r.parameters = params
+        r.linkage = "fortran"
+        r.defined = True
+        r.position.header = SourceRange(head.location, head.location)
+        if isinstance(parent, Namespace):
+            parent.routines.append(r)
+        self.tree.register_routine(r)
+        registry[name.lower()] = r
+        exits: list[SourceLocation] = []
+        #: names declared as arrays/locals — excluded from call extraction
+        local_arrays: set[str] = set()
+        local_types: dict[str, Type] = {}
+        body_begin: Optional[SourceLocation] = None
+        first_exec: Optional[SourceLocation] = None
+        depth = 0
+        while self._peek() is not None:
+            s = self._next()
+            low = s.lower
+            m_end = _RE_END.match(low)
+            if m_end is not None:
+                kw = m_end.group(1)
+                if kw in ("do", "if", "select", "where"):
+                    depth = max(0, depth - 1)
+                    continue
+                if depth == 0 and kw in (end_kw, "program", None):
+                    exits.append(s.location)
+                    r.position.body = SourceRange(
+                        body_begin or head.location, s.location
+                    )
+                    break
+                continue
+            if body_begin is None:
+                body_begin = s.location
+            if _RE_BLOCK_START.match(low):
+                depth += 1
+                # an if(...)then line has no executable payload beyond the
+                # condition; fall through so condition calls are scanned
+            if _RE_CONTAINS.match(low):
+                # internal procedures: parse them against the same registry
+                while self._peek() is not None and (
+                    _RE_SUBROUTINE.match(self._peek().text)
+                    or _RE_FUNCTION.match(self._peek().text)
+                ):
+                    self._parse_procedure(parent, registry, uses)
+                continue
+            if _RE_RETURN.match(low):
+                exits.append(s.location)
+                continue
+            m = _RE_DECL.match(s.text)
+            if m is not None:
+                base = self._resolve_type(m.group(1), parent, uses)
+                for ent_name, ent_type in self._entities(
+                    m.group(3), base, m.group(2) or ""
+                ):
+                    if ent_name is None:
+                        continue
+                    local_types[ent_name.lower()] = ent_type
+                    from repro.cpp.cpptypes import ArrayType
+
+                    if isinstance(ent_type, ArrayType):
+                        local_arrays.add(ent_name.lower())
+                continue
+            if first_exec is None and not low.startswith(("implicit", "use ")):
+                first_exec = s.location
+            self._extract_calls(r, s, registry, uses, local_arrays)
+        # dummy-argument typing from the declarations we saw
+        for p in r.parameters:
+            t = local_types.get(p.name.lower())
+            if t is not None:
+                p.type = t
+        if result_name is not None:
+            t = local_types.get(result_name.lower())
+            if t is not None:
+                ret = t
+        r.signature = self.types.function(ret, [p.type for p in r.parameters])
+        r.flags["exits"] = exits
+        r.flags["result_name"] = result_name
+        r.flags["first_exec"] = first_exec
+
+    # -- call extraction -------------------------------------------------------------
+
+    def _extract_calls(
+        self,
+        routine: Routine,
+        s: Stmt,
+        registry: dict[str, Routine],
+        uses: list[str],
+        local_arrays: set[str],
+    ) -> None:
+        mcall = _RE_CALL.match(s.text)
+        text = _RE_STRINGS.sub("''", s.text)
+        if mcall is not None:
+            self._reference(routine, mcall.group(1), s.location, registry, uses)
+            text = text[len("call ") + len(mcall.group(1)):]
+        # function references anywhere in the (remaining) statement
+        for m in _RE_FUNC_REF.finditer(text):
+            name = m.group(1).lower()
+            if name in INTRINSICS or name in local_arrays:
+                continue
+            if name in ("if", "do", "while", "then", "call", "select", "case", "where", "print", "write", "read", "forall"):
+                continue
+            self._reference(routine, name, s.location, registry, uses)
+
+    def _reference(
+        self, routine: Routine, name: str, loc, registry, uses
+    ) -> None:
+        """Record a call to ``name``, deferring unresolved names —
+        module procedures are visible before their definitions."""
+        callee = self._lookup_routine(name, registry, uses)
+        if callee is not None:
+            if callee is not routine:
+                routine.add_call(callee, False, loc)
+            return
+        self._pending_refs.append((routine, name, loc, registry, list(uses)))
+
+    def _resolve_pending(self) -> None:
+        still: list[tuple] = []
+        for routine, name, loc, registry, uses in self._pending_refs:
+            callee = self._lookup_routine(name, registry, uses)
+            if callee is not None and callee is not routine:
+                routine.add_call(callee, False, loc)
+            elif callee is None:
+                still.append((routine, name, loc, registry, uses))
+        self._pending_refs = still
+
+    def _lookup_routine(
+        self, name: str, registry: dict[str, Routine], uses: list[str]
+    ) -> Optional[Routine]:
+        key = name.lower()
+        r = registry.get(key)
+        if r is not None:
+            return r
+        # generic interface whose specifics live in the current registry
+        for _mod, generics in self._generics.items():
+            for generic, specifics in generics.items():
+                if generic.lower() == key and specifics:
+                    r = registry.get(specifics[0].lower())
+                    if r is not None:
+                        return r
+        for mod in uses:
+            table = self._module_routines.get(mod, {})
+            r = table.get(key)
+            if r is not None:
+                return r
+            # generic interface name: resolve to its first specific
+            generics = self._generics.get(mod, {})
+            for generic, specifics in generics.items():
+                if generic.lower() == key and specifics:
+                    return table.get(specifics[0].lower())
+        return None
+
+    # -- programs ----------------------------------------------------------------------
+
+    def _parse_program(self) -> None:
+        head = self._peek()
+        name = _RE_PROGRAM.match(head.lower).group(1)
+        # a program unit is a routine in the global namespace; reuse the
+        # procedure machinery by rewriting the head statement
+        rewritten = Stmt(f"subroutine {head.text.split()[1]}", head.location)
+        self._stmts[self._pos] = rewritten
+        uses = self._collect_upcoming_uses()
+        registry: dict[str, Routine] = {}
+        self._parse_procedure(self.tree.global_namespace, registry, uses)
+        prog = registry.get(name.lower())
+        if prog is not None:
+            prog.flags["program_unit"] = True
+
+    def _collect_upcoming_uses(self) -> list[str]:
+        uses = []
+        for s in self._stmts[self._pos :]:
+            m = _RE_USE.match(s.lower)
+            if m:
+                uses.append(m.group(1).lower())
+            if _RE_END.match(s.lower):
+                break
+        return uses
+
+    # -- types -------------------------------------------------------------------------
+
+    def _resolve_type(self, spec: str, scope, uses: list[str]) -> Type:
+        s = re.sub(r"\s+", " ", spec.strip().lower())
+        if s.startswith("integer"):
+            return self.types.builtin("int")
+        if s.startswith("double precision"):
+            return self.types.builtin("double")
+        if s.startswith("real"):
+            return self.types.builtin("float")
+        if s.startswith("logical"):
+            return self.types.builtin("bool")
+        if s.startswith("complex"):
+            return self.types.builtin("complex")
+        if s.startswith("character"):
+            return self.types.builtin("character(*)")
+        m = re.match(r"type\s*\(\s*(\w+)\s*\)", s)
+        if m is not None:
+            name = m.group(1)
+            cls = self._find_derived_type(name, scope, uses)
+            if cls is not None:
+                return self.types.class_type(cls)
+            return self.types.unknown(name)
+        return self.types.unknown(spec)
+
+    def _find_derived_type(self, name: str, scope, uses: list[str]) -> Optional[Class]:
+        key = name.lower()
+        search: list[Namespace] = []
+        if isinstance(scope, Namespace):
+            search.append(scope)
+        for ns in self.tree.all_namespaces:
+            if ns.name.lower() in uses:
+                search.append(ns)
+        search.append(self.tree.global_namespace)
+        for ns in search:
+            for c in ns.classes:
+                if c.name.lower() == key:
+                    return c
+        return None
+
+    def _entities(
+        self, entity_text: str, base: Type, attr_text: str
+    ) -> list[tuple[Optional[str], Type]]:
+        """Split an entity list (``a, b(10), c => null()``) into
+        (name, type) pairs, applying dimension/pointer attributes."""
+        attrs = attr_text.lower()
+        dimensioned = "dimension" in attrs
+        pointer = "pointer" in attrs or "allocatable" in attrs
+        out: list[tuple[Optional[str], Type]] = []
+        for raw in _split_entities(entity_text):
+            raw = raw.split("=")[0].strip()
+            m = re.match(r"^(\w+)\s*(\(([^)]*)\))?$", raw)
+            if m is None:
+                out.append((None, base))
+                continue
+            name = m.group(1)
+            t = base
+            if m.group(2) is not None or dimensioned:
+                t = self.types.array_of(t, None)
+            if pointer:
+                t = self.types.pointer_to(t)
+            out.append((name, t))
+        return out
+
+
+def _split_entities(text: str) -> list[str]:
+    """Split on commas not inside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+            continue
+        current.append(ch)
+    parts.append("".join(current))
+    return [p for p in parts if p.strip()]
+
+
+def in_contains_block(low: str) -> bool:
+    """Helper kept trivial: 'end' inside a contains section still closes
+    the module when the procedure parser has already consumed its own
+    'end subroutine'."""
+    return False

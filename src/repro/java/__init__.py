@@ -1,0 +1,27 @@
+"""Java front end — the second half of the paper's Section 6 plan.
+
+"We are also planning to develop a Java IL Analyzer based on EDG's Java
+Front End, with the PDB and DUCTAPE enhanced to accommodate Java's
+constructs."
+
+A Java 1.x subset front end (the language as it stood at the paper's
+writing: no generics) producing the common ILTree:
+
+* ``package a.b;``  -> nested :class:`~repro.cpp.il.Namespace`
+* ``class`` / ``interface`` -> :class:`~repro.cpp.il.Class`
+  (interfaces are abstract classes with every method pure),
+* methods -> :class:`~repro.cpp.il.Routine` (linkage ``java``; instance
+  methods are virtual unless ``static``/``final``/``private``),
+* ``extends`` / ``implements`` -> base-class edges,
+* constructors, fields, static members, call extraction through a
+  symbol-table-driven expression scan (``obj.method(...)``,
+  ``new Foo(...)``, ``Type.staticMethod(...)``, chained calls).
+
+Java has no preprocessor, so the C++ lexer serves unchanged — the
+uniformity thesis again, one layer down.
+"""
+
+from repro.java.frontend import JavaFrontend
+from repro.java.parser import JavaParseError
+
+__all__ = ["JavaFrontend", "JavaParseError"]

@@ -1,0 +1,34 @@
+"""Java front-end driver: sources -> the common ILTree."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cpp.diagnostics import DiagnosticSink
+from repro.cpp.il import ILTree
+from repro.cpp.source import SourceManager
+from repro.java.parser import JavaParser
+
+
+class JavaFrontend:
+    """Compiles a set of Java sources into an ILTree the (unchanged) IL
+    Analyzer, DUCTAPE, and tools consume."""
+
+    def __init__(self, manager: Optional[SourceManager] = None):
+        self.manager = manager or SourceManager()
+        self.sink = DiagnosticSink(fatal_errors=False)
+
+    def register_files(self, files: dict[str, str]) -> None:
+        self.manager.register_many(files)
+
+    def compile(self, file_names: list[str]) -> ILTree:
+        """Compile the named files as one compilation set (two passes,
+        so cross-file references resolve in any order)."""
+        tree = ILTree()
+        parser = JavaParser(tree, self.sink)
+        files = [self.manager.load(n) for n in file_names]
+        parser.parse_files(files)
+        tree.files = files
+        if files:
+            tree.main_file = files[-1]
+        return tree

@@ -1,0 +1,556 @@
+"""Java 1.x subset parser -> the common IL.
+
+Token-driven recursive descent over the C++ lexer's output (Java is
+lexically a C-family language and has no preprocessor).  Two passes per
+compilation set: declarations first (so cross-class references resolve
+regardless of file order — Java has no forward-declaration requirement),
+then method bodies for call extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpp.cpptypes import ClassType, Type, TypeTable
+from repro.cpp.diagnostics import CppError, DiagnosticSink
+from repro.cpp.il import (
+    Access,
+    Class,
+    ClassKind,
+    Field,
+    ILTree,
+    Namespace,
+    Parameter,
+    Routine,
+    RoutineKind,
+    SourceRange,
+    Virtuality,
+)
+from repro.cpp.lexer import tokenize
+from repro.cpp.source import SourceFile, SourceLocation
+from repro.cpp.tokens import Token, TokenKind
+
+#: Java keywords we dispatch on (subset)
+_MODIFIERS = frozenset(
+    "public protected private static final abstract native synchronized transient volatile strictfp".split()
+)
+_PRIMITIVES = {
+    "void": "void",
+    "boolean": "bool",
+    "byte": "signed char",
+    "char": "wchar_t",
+    "short": "short",
+    "int": "int",
+    "long": "long",
+    "float": "float",
+    "double": "double",
+}
+_STMT_KEYWORDS = frozenset(
+    "if else while do for switch case default break continue return try catch finally throw synchronized".split()
+)
+
+
+class JavaParseError(Exception):
+    """Unrecoverable Java parse error."""
+    def __init__(self, message: str, location: Optional[SourceLocation] = None):
+        self.location = location
+        where = f"{location}: " if location else ""
+        super().__init__(f"{where}{message}")
+
+
+@dataclass
+class _PendingBody:
+    routine: Routine
+    cls: Class
+    tokens: list[Token]
+    start: int  # index of "{"
+    end: int  # index just past "}"
+
+
+class JavaParser:
+    """Parses a set of Java source files into one ILTree."""
+
+    def __init__(self, tree: ILTree, sink: Optional[DiagnosticSink] = None):
+        self.tree = tree
+        self.types: TypeTable = tree.types
+        self.sink = sink or DiagnosticSink(fatal_errors=False)
+        #: simple name -> Class (Java's flat import model, simplified)
+        self.classes_by_name: dict[str, Class] = {}
+        self._pending: list[_PendingBody] = []
+        self._pending_bases: list[tuple[Class, str, bool]] = []
+
+    # -- driver --------------------------------------------------------------
+
+    def parse_files(self, files: list[SourceFile]) -> None:
+        for f in files:
+            self._parse_declarations(f)
+        self._resolve_bases()
+        for pb in self._pending:
+            self._parse_body(pb)
+        self._pending.clear()
+
+    # -- declaration pass ---------------------------------------------------------
+
+    def _parse_declarations(self, file: SourceFile) -> None:
+        toks = tokenize(file)
+        pos = 0
+
+        def cur() -> Token:
+            return toks[min(pos, len(toks) - 1)]
+
+        # package
+        ns = self.tree.global_namespace
+        if cur().is_ident("package"):
+            pos += 1
+            parts = []
+            while toks[pos].kind is TokenKind.IDENT:
+                parts.append(toks[pos])
+                pos += 1
+                if toks[pos].is_punct("."):
+                    pos += 1
+                else:
+                    break
+            ns = self._namespace_chain(parts)
+            if toks[pos].is_punct(";"):
+                pos += 1
+        # imports: recorded as inclusion-ish hints only
+        while cur().is_ident("import"):
+            while not toks[pos].is_punct(";") and toks[pos].kind is not TokenKind.EOF:
+                pos += 1
+            pos += 1
+        # type declarations
+        while toks[pos].kind is not TokenKind.EOF:
+            pos = self._parse_type_decl(toks, pos, ns, file)
+
+    def _namespace_chain(self, parts: list[Token]) -> Namespace:
+        ns = self.tree.global_namespace
+        for tok in parts:
+            nxt = next((n for n in ns.namespaces if n.name == tok.text), None)
+            if nxt is None:
+                nxt = Namespace(tok.text, tok.location, ns)
+                ns.namespaces.append(nxt)
+                self.tree.register_namespace(nxt)
+            ns = nxt
+        return ns
+
+    def _parse_type_decl(
+        self, toks: list[Token], pos: int, ns: Namespace, file: SourceFile
+    ) -> int:
+        mods, pos = self._modifiers(toks, pos)
+        t = toks[pos]
+        if t.kind is TokenKind.EOF:
+            return pos
+        if not (t.is_ident("class") or t.is_ident("interface")):
+            return pos + 1  # tolerated noise (semicolons, annotations…)
+        is_interface = t.text == "interface"
+        key_tok = toks[pos]
+        pos += 1
+        name_tok = toks[pos]
+        pos += 1
+        cls = Class(name_tok.text, name_tok.location, ns, ClassKind.CLASS)
+        cls.defined = True
+        cls.access = _access_of(mods)
+        cls.flags["java"] = True
+        cls.flags["java_interface"] = is_interface
+        if "abstract" in mods or is_interface:
+            cls.is_abstract = True
+        cls.position.header = SourceRange(key_tok.location, name_tok.location)
+        ns.classes.append(cls)
+        self.tree.register_class(cls)
+        self.classes_by_name[cls.name] = cls
+        # extends / implements: bases resolve after all decls are seen
+        while toks[pos].is_ident("extends") or toks[pos].is_ident("implements"):
+            is_iface_edge = toks[pos].text == "implements"
+            pos += 1
+            while toks[pos].kind is TokenKind.IDENT:
+                base_name = toks[pos].text
+                pos += 1
+                while toks[pos].is_punct("."):
+                    pos += 2  # qualified name: keep last part
+                    base_name = toks[pos - 1].text
+                self._pending_bases.append((cls, base_name, is_iface_edge))
+                if toks[pos].is_punct(","):
+                    pos += 1
+                else:
+                    break
+        if not toks[pos].is_punct("{"):
+            raise JavaParseError(
+                f"expected class body, found {toks[pos].text!r}", toks[pos].location
+            )
+        body_open = toks[pos]
+        pos += 1
+        pos = self._parse_members(toks, pos, cls, is_interface)
+        cls.position.body = SourceRange(body_open.location, toks[pos - 1].location)
+        return pos
+
+    def _modifiers(self, toks: list[Token], pos: int) -> tuple[set, int]:
+        mods: set[str] = set()
+        while toks[pos].kind is TokenKind.IDENT and toks[pos].text in _MODIFIERS:
+            mods.add(toks[pos].text)
+            pos += 1
+        return mods, pos
+
+    # -- members --------------------------------------------------------------------
+
+    def _parse_members(
+        self, toks: list[Token], pos: int, cls: Class, is_interface: bool
+    ) -> int:
+        while True:
+            t = toks[pos]
+            if t.kind is TokenKind.EOF:
+                raise JavaParseError("unterminated class body", cls.location)
+            if t.is_punct("}"):
+                return pos + 1
+            if t.is_punct(";"):
+                pos += 1
+                continue
+            mods, pos = self._modifiers(toks, pos)
+            t = toks[pos]
+            # nested type
+            if t.is_ident("class") or t.is_ident("interface"):
+                pos = self._parse_type_decl(toks, pos - 0, _NsView(cls), t.location.file)  # type: ignore[arg-type]
+                continue
+            # static/instance initialiser block
+            if t.is_punct("{"):
+                pos = _skip_braces(toks, pos)
+                continue
+            # constructor: Name (
+            if (
+                t.kind is TokenKind.IDENT
+                and t.text == cls.name
+                and toks[pos + 1].is_punct("(")
+            ):
+                pos = self._parse_method(
+                    toks, pos, cls, mods, self.types.class_type(cls),
+                    is_ctor=True, is_interface=is_interface,
+                )
+                continue
+            # field or method: Type name ...
+            jtype, pos = self._parse_type(toks, pos)
+            name_tok = toks[pos]
+            if name_tok.kind is not TokenKind.IDENT:
+                raise JavaParseError(
+                    f"expected member name, found {name_tok.text!r}", name_tok.location
+                )
+            if toks[pos + 1].is_punct("("):
+                pos = self._parse_method(
+                    toks, pos, cls, mods, jtype,
+                    is_ctor=False, is_interface=is_interface,
+                )
+            else:
+                pos = self._parse_fields(toks, pos, cls, mods, jtype)
+        return pos
+
+    def _parse_type(self, toks: list[Token], pos: int) -> tuple[Type, int]:
+        t = toks[pos]
+        if t.kind is not TokenKind.IDENT:
+            raise JavaParseError(f"expected type, found {t.text!r}", t.location)
+        if t.text in _PRIMITIVES:
+            base: Type = self.types.builtin(_PRIMITIVES[t.text])
+            pos += 1
+        else:
+            name = t.text
+            pos += 1
+            while toks[pos].is_punct(".") and toks[pos + 1].kind is TokenKind.IDENT:
+                name = toks[pos + 1].text
+                pos += 2
+            cls = self.classes_by_name.get(name)
+            base = self.types.class_type(cls) if cls is not None else self.types.unknown(name)
+        while toks[pos].is_punct("[") and toks[pos + 1].is_punct("]"):
+            base = self.types.array_of(base, None)
+            pos += 2
+        return base, pos
+
+    def _parse_fields(
+        self, toks: list[Token], pos: int, cls: Class, mods: set, jtype: Type
+    ) -> int:
+        while True:
+            name_tok = toks[pos]
+            pos += 1
+            t = jtype
+            while toks[pos].is_punct("[") and toks[pos + 1].is_punct("]"):
+                t = self.types.array_of(t, None)
+                pos += 2
+            f = Field(name_tok.text, name_tok.location, cls, t, is_static="static" in mods)
+            f.access = _access_of(mods)
+            cls.fields.append(f)
+            # initialiser
+            if toks[pos].is_punct("="):
+                depth = 0
+                while toks[pos].kind is not TokenKind.EOF:
+                    tx = toks[pos]
+                    if tx.text in ("(", "[", "{"):
+                        depth += 1
+                    elif tx.text in (")", "]", "}"):
+                        depth -= 1
+                    elif depth == 0 and (tx.is_punct(",") or tx.is_punct(";")):
+                        break
+                    pos += 1
+            if toks[pos].is_punct(","):
+                pos += 1
+                continue
+            if toks[pos].is_punct(";"):
+                return pos + 1
+            raise JavaParseError(
+                f"malformed field declaration near {toks[pos].text!r}",
+                toks[pos].location,
+            )
+
+    def _parse_method(
+        self,
+        toks: list[Token],
+        pos: int,
+        cls: Class,
+        mods: set,
+        rtype: Type,
+        is_ctor: bool,
+        is_interface: bool,
+    ) -> int:
+        name_tok = toks[pos]
+        pos += 1
+        assert toks[pos].is_punct("(")
+        pos += 1
+        params: list[Parameter] = []
+        while not toks[pos].is_punct(")"):
+            _pmods, pos = self._modifiers(toks, pos)
+            ptype, pos = self._parse_type(toks, pos)
+            pname = toks[pos]
+            pos += 1
+            while toks[pos].is_punct("[") and toks[pos + 1].is_punct("]"):
+                ptype = self.types.array_of(ptype, None)
+                pos += 2
+            params.append(Parameter(pname.text, ptype, location=pname.location))
+            if toks[pos].is_punct(","):
+                pos += 1
+        pos += 1  # ")"
+        # throws clause
+        if toks[pos].is_ident("throws"):
+            while not toks[pos].is_punct("{") and not toks[pos].is_punct(";"):
+                pos += 1
+        kind = RoutineKind.CONSTRUCTOR if is_ctor else RoutineKind.MEMBER
+        sig = self.types.function(rtype, [p.type for p in params])
+        r = Routine(name_tok.text, name_tok.location, cls, sig, kind)
+        r.parameters = params
+        r.access = _access_of(mods)
+        r.linkage = "java"
+        r.is_static_member = "static" in mods
+        if is_interface or "abstract" in mods:
+            r.virtuality = Virtuality.PURE
+        elif not is_ctor and "static" not in mods and "final" not in mods and r.access is not Access.PRIVATE:
+            r.virtuality = Virtuality.VIRTUAL  # Java instance methods dispatch
+        r.position.header = SourceRange(name_tok.location, toks[pos - 1].location)
+        cls.routines.append(r)
+        self.tree.register_routine(r)
+        if toks[pos].is_punct(";"):
+            return pos + 1  # abstract / interface method
+        if not toks[pos].is_punct("{"):
+            raise JavaParseError(
+                f"expected method body, found {toks[pos].text!r}", toks[pos].location
+            )
+        start = pos
+        end = _skip_braces(toks, pos)
+        r.defined = True
+        r.position.body = SourceRange(toks[start].location, toks[end - 1].location)
+        self._pending.append(_PendingBody(r, cls, toks, start, end))
+        return end
+
+    # -- base resolution ----------------------------------------------------------------
+
+    def _resolve_bases(self) -> None:
+        for cls, base_name, _is_iface in self._pending_bases:
+            base = self.classes_by_name.get(base_name)
+            if base is None:
+                self.sink.warn(f"unknown base type {base_name} for {cls.full_name}")
+                continue
+            cls.add_base(base, Access.PUBLIC, False)
+        self._pending_bases.clear()
+
+    # -- body pass: call extraction ---------------------------------------------------------
+
+    def _parse_body(self, pb: _PendingBody) -> None:
+        toks, r, cls = pb.tokens, pb.routine, pb.cls
+        locals_: dict[str, Type] = {p.name: p.type for p in r.parameters}
+        i = pb.start + 1
+        while i < pb.end - 1:
+            t = toks[i]
+            # local declaration:  Type name [= ...] ;   (heuristic)
+            if (
+                t.kind is TokenKind.IDENT
+                and (t.text in _PRIMITIVES or t.text in self.classes_by_name)
+                and toks[i + 1].kind is TokenKind.IDENT
+                and toks[i + 2].text in ("=", ";", ",", "[")
+                and t.text not in _STMT_KEYWORDS
+            ):
+                jtype, j = self._parse_type(toks, i)
+                if toks[j].kind is TokenKind.IDENT:
+                    locals_[toks[j].text] = jtype
+                    i = j + 1
+                    continue
+            # new Foo(...)
+            if t.is_ident("new") and toks[i + 1].kind is TokenKind.IDENT:
+                target = self.classes_by_name.get(toks[i + 1].text)
+                if target is not None and toks[i + 2].is_punct("("):
+                    nargs = _count_args(toks, i + 2)
+                    ctor = self._pick(target.constructors(), nargs)
+                    if ctor is not None:
+                        r.add_call(ctor, False, t.location)
+                i += 2
+                continue
+            # receiver.method(...) | method(...) | Type.static(...)
+            if t.kind is TokenKind.IDENT and t.text not in _STMT_KEYWORDS:
+                if toks[i + 1].is_punct("("):
+                    # unqualified: this-class (or inherited) method
+                    nargs = _count_args(toks, i + 1)
+                    callee = self._pick(cls.find_routines(t.text), nargs)
+                    if callee is not None:
+                        r.add_call(callee, callee.virtuality is not Virtuality.NO, t.location)
+                        i = self._follow_chain(toks, i + 1, callee, r)
+                        continue
+                elif toks[i + 1].is_punct(".") and toks[i + 2].kind is TokenKind.IDENT and toks[i + 3].is_punct("("):
+                    recv_type: Optional[Type] = locals_.get(t.text)
+                    recv_cls: Optional[Class] = None
+                    if recv_type is not None:
+                        recv_cls = recv_type.strip().class_decl()
+                    elif t.text in self.classes_by_name:
+                        recv_cls = self.classes_by_name[t.text]  # static call
+                    elif t.text == "this":
+                        recv_cls = cls
+                    else:
+                        fld = cls.find_member(t.text)
+                        if isinstance(fld, Field):
+                            recv_cls = fld.type.strip().class_decl()
+                    callee = None
+                    if recv_cls is not None:
+                        nargs = _count_args(toks, i + 3)
+                        callee = self._pick(recv_cls.find_routines(toks[i + 2].text), nargs)
+                        if callee is not None:
+                            r.add_call(
+                                callee,
+                                callee.virtuality is not Virtuality.NO,
+                                toks[i + 2].location,
+                            )
+                    if callee is not None:
+                        i = self._follow_chain(toks, i + 3, callee, r)
+                    else:
+                        i += 3  # past ident . ident — lands on "("
+                    continue
+            i += 1
+
+    def _follow_chain(
+        self, toks: list[Token], open_pos: int, callee: Routine, r: Routine
+    ) -> int:
+        """Resolve chained calls (``b.position().add(x)``): after a call's
+        closing paren, a ``.method(`` dispatches on the return type.
+        Returns the position to resume scanning from (just inside the
+        original argument list, so nested arguments are scanned too)."""
+        resume = open_pos + 1
+        j = _matching_paren(toks, open_pos)
+        current = callee
+        while (
+            j + 3 < len(toks)
+            and toks[j + 1].is_punct(".")
+            and toks[j + 2].kind is TokenKind.IDENT
+            and toks[j + 3].is_punct("(")
+        ):
+            ret_cls = current.signature.return_type.strip().class_decl()
+            if ret_cls is None:
+                break
+            nargs = _count_args(toks, j + 3)
+            nxt = self._pick(ret_cls.find_routines(toks[j + 2].text), nargs)
+            if nxt is None:
+                break
+            r.add_call(nxt, nxt.virtuality is not Virtuality.NO, toks[j + 2].location)
+            current = nxt
+            j = _matching_paren(toks, j + 3)
+        return resume
+
+    @staticmethod
+    def _pick(candidates: list[Routine], nargs: int) -> Optional[Routine]:
+        exact = [c for c in candidates if len(c.parameters) == nargs]
+        if exact:
+            return exact[0]
+        return candidates[0] if candidates else None
+
+
+class _NsView(Namespace):
+    """Adapter: lets a nested type attach to its enclosing class while
+    reusing the namespace-based declaration path."""
+
+    def __init__(self, cls: Class):  # pragma: no cover - thin adapter
+        super().__init__(cls.name, cls.location, None)
+        self._cls = cls
+
+    @property
+    def classes(self):  # type: ignore[override]
+        return self._cls.inner_classes
+
+    @classes.setter
+    def classes(self, value):  # noqa: D401 - dataclass-ish setter
+        pass
+
+
+def _skip_braces(toks: list[Token], pos: int) -> int:
+    assert toks[pos].is_punct("{")
+    depth = 0
+    while pos < len(toks):
+        t = toks[pos]
+        if t.kind is TokenKind.EOF:
+            raise JavaParseError("unbalanced braces", toks[pos].location)
+        if t.is_punct("{"):
+            depth += 1
+        elif t.is_punct("}"):
+            depth -= 1
+            if depth == 0:
+                return pos + 1
+        pos += 1
+    raise JavaParseError("unbalanced braces")
+
+
+def _matching_paren(toks: list[Token], open_pos: int) -> int:
+    """Index of the ``)`` matching the ``(`` at ``open_pos``."""
+    depth = 0
+    i = open_pos
+    while i < len(toks):
+        if toks[i].text in ("(", "[", "{"):
+            depth += 1
+        elif toks[i].text in (")", "]", "}"):
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    raise JavaParseError("unbalanced parentheses", toks[open_pos].location)
+
+
+def _count_args(toks: list[Token], open_pos: int) -> int:
+    """Number of comma-separated arguments in the parenthesised list."""
+    assert toks[open_pos].is_punct("(")
+    depth = 0
+    count = 0
+    seen_any = False
+    i = open_pos
+    while i < len(toks):
+        t = toks[i]
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+            if depth == 0:
+                return count + 1 if seen_any else 0
+        elif depth == 1:
+            if t.is_punct(","):
+                count += 1
+            elif t.kind is not TokenKind.EOF:
+                seen_any = True
+        i += 1
+    return count
+
+
+def _access_of(mods: set) -> Access:
+    if "public" in mods:
+        return Access.PUBLIC
+    if "protected" in mods:
+        return Access.PROTECTED
+    if "private" in mods:
+        return Access.PRIVATE
+    return Access.PUBLIC  # package-private rendered as public

@@ -1,0 +1,36 @@
+"""The PDB (program database) ASCII format — paper Figure 3 / Table 1.
+
+A PDB document is a header line (``<PDB 1.0>``) followed by item records.
+Each record opens with ``<prefix>#<id> <name>`` and continues with
+attribute lines whose keys are drawn from the item type's schema
+(:mod:`repro.pdbfmt.spec`).  The format is "relatively compact and
+portable ASCII" (paper Section 3.2): everything is plain text, ids are
+small integers unique per prefix, and cross-references are ``so#6``-style
+tags.
+
+Modules:
+
+* :mod:`repro.pdbfmt.spec`   — Table 1 as data (item types, prefixes,
+  attribute schemas),
+* :mod:`repro.pdbfmt.items`  — raw item records and reference values,
+* :mod:`repro.pdbfmt.writer` — document -> text,
+* :mod:`repro.pdbfmt.reader` — text -> document (tolerant, round-trips).
+"""
+
+from repro.pdbfmt.items import ItemRef, PdbDocument, PdbLocation, RawItem
+from repro.pdbfmt.reader import PdbParseError, parse_pdb
+from repro.pdbfmt.spec import ATTRIBUTE_SCHEMAS, ITEM_TYPES, PDB_VERSION
+from repro.pdbfmt.writer import write_pdb
+
+__all__ = [
+    "ATTRIBUTE_SCHEMAS",
+    "ITEM_TYPES",
+    "ItemRef",
+    "PDB_VERSION",
+    "PdbDocument",
+    "PdbLocation",
+    "PdbParseError",
+    "RawItem",
+    "parse_pdb",
+    "write_pdb",
+]

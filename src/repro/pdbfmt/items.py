@@ -1,0 +1,163 @@
+"""Raw PDB item records — the document model under DUCTAPE.
+
+Attributes keep their values as parsed word lists / text; the typed view
+is DUCTAPE's job.  ``RawItem`` preserves attribute order, which the
+writer reproduces byte-for-byte, making write→parse→write a fixed point
+(property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class ItemRef:
+    """A ``so#66``-style reference to another item."""
+
+    prefix: str
+    id: int
+
+    def __str__(self) -> str:
+        return f"{self.prefix}#{self.id}"
+
+    @staticmethod
+    def parse(text: str) -> Optional["ItemRef"]:
+        if text == "NULL":
+            return None
+        if "#" not in text:
+            raise ValueError(f"not an item reference: {text!r}")
+        prefix, _, num = text.partition("#")
+        return ItemRef(prefix, int(num))
+
+
+@dataclass(frozen=True)
+class PdbLocation:
+    """``so#66 23 15`` — file reference, line, column.
+
+    A missing location renders as ``NULL 0 0`` (paper Figure 3 shows this
+    for an absent header-end position)."""
+
+    file: Optional[ItemRef]
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        f = "NULL" if self.file is None else str(self.file)
+        return f"{f} {self.line} {self.column}"
+
+    @property
+    def known(self) -> bool:
+        return self.file is not None
+
+    @staticmethod
+    def null() -> "PdbLocation":
+        return PdbLocation(None, 0, 0)
+
+
+@dataclass
+class Attribute:
+    """One attribute line: key + raw value words (or verbatim text)."""
+
+    key: str
+    words: list[str] = field(default_factory=list)
+    text: Optional[str] = None  # for "text"-grammar attributes
+
+    def render(self) -> str:
+        if self.text is not None:
+            return f"{self.key} {self.text}".rstrip()
+        return " ".join([self.key] + self.words)
+
+
+@dataclass
+class RawItem:
+    """One PDB item: ``<prefix>#<id> <name>`` plus attribute lines."""
+
+    prefix: str
+    id: int
+    name: str
+    attributes: list[Attribute] = field(default_factory=list)
+
+    @property
+    def ref(self) -> ItemRef:
+        return ItemRef(self.prefix, self.id)
+
+    def add(self, key: str, *words: object) -> "RawItem":
+        self.attributes.append(Attribute(key, [str(w) for w in words]))
+        return self
+
+    def add_text(self, key: str, text: str) -> "RawItem":
+        self.attributes.append(Attribute(key, text=text))
+        return self
+
+    def get(self, key: str) -> Optional[Attribute]:
+        for a in self.attributes:
+            if a.key == key:
+                return a
+        return None
+
+    def get_all(self, key: str) -> list[Attribute]:
+        return [a for a in self.attributes if a.key == key]
+
+    def first_word(self, key: str) -> Optional[str]:
+        a = self.get(key)
+        if a is None:
+            return None
+        if a.text is not None:
+            return a.text.split()[0] if a.text.split() else None
+        return a.words[0] if a.words else None
+
+    def get_ref(self, key: str) -> Optional[ItemRef]:
+        w = self.first_word(key)
+        if w is None or w == "NULL":
+            return None
+        return ItemRef.parse(w)
+
+    def get_location(self, key: str) -> Optional[PdbLocation]:
+        a = self.get(key)
+        if a is None or len(a.words) < 3:
+            return None
+        return PdbLocation(ItemRef.parse(a.words[0]), int(a.words[1]), int(a.words[2]))
+
+    def get_positions(self, key: str) -> Optional[list[PdbLocation]]:
+        """``*pos`` attributes hold four locations: header begin/end then
+        body begin/end."""
+        a = self.get(key)
+        if a is None:
+            return None
+        locs: list[PdbLocation] = []
+        w = a.words
+        for i in range(0, len(w) - 2, 3):
+            locs.append(PdbLocation(ItemRef.parse(w[i]), int(w[i + 1]), int(w[i + 2])))
+        return locs
+
+
+@dataclass
+class PdbDocument:
+    """A complete PDB: version header + items in file order."""
+
+    version: str = "1.0"
+    items: list[RawItem] = field(default_factory=list)
+
+    def add(self, item: RawItem) -> RawItem:
+        self.items.append(item)
+        return item
+
+    def by_prefix(self, prefix: str) -> list[RawItem]:
+        return [i for i in self.items if i.prefix == prefix]
+
+    def find(self, ref: ItemRef) -> Optional[RawItem]:
+        for i in self.items:
+            if i.prefix == ref.prefix and i.id == ref.id:
+                return i
+        return None
+
+    def index(self) -> dict[ItemRef, RawItem]:
+        return {i.ref: i for i in self.items}
+
+    def __iter__(self) -> Iterator[RawItem]:
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)

@@ -1,0 +1,66 @@
+"""PDB reader: ASCII text -> document.
+
+Tolerant by design (the format is meant to be hand-inspectable and
+hand-editable): unknown attribute keys are preserved verbatim, blank
+lines between items are optional, and attribute lines may appear in any
+order.  Malformed structure (no header, attribute before any item)
+raises :class:`PdbParseError`."""
+
+from __future__ import annotations
+
+import re
+
+from repro.pdbfmt.items import Attribute, PdbDocument, RawItem
+from repro.pdbfmt.spec import ATTRIBUTE_SCHEMAS
+
+_HEADER_RE = re.compile(r"^<PDB\s+([0-9.]+)>\s*$")
+_ITEM_RE = re.compile(r"^(so|ro|cl|ty|te|na|ma)#(\d+)(?:\s+(.*))?$")
+
+
+class PdbParseError(Exception):
+    """Raised on structurally invalid PDB text."""
+
+    def __init__(self, message: str, line_no: int):
+        self.line_no = line_no
+        super().__init__(f"line {line_no}: {message}")
+
+
+def parse_pdb(text: str) -> PdbDocument:
+    """Parse PDB text into a document."""
+    doc: PdbDocument | None = None
+    current: RawItem | None = None
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        m = _HEADER_RE.match(line)
+        if m:
+            if doc is not None:
+                raise PdbParseError("duplicate <PDB> header", line_no)
+            doc = PdbDocument(version=m.group(1))
+            continue
+        if doc is None:
+            raise PdbParseError("content before <PDB> header", line_no)
+        m = _ITEM_RE.match(line)
+        if m:
+            prefix, num, name = m.group(1), int(m.group(2)), m.group(3) or ""
+            current = RawItem(prefix=prefix, id=num, name=name)
+            doc.items.append(current)
+            continue
+        if current is None:
+            raise PdbParseError(f"attribute line outside an item: {line!r}", line_no)
+        key, _, rest = line.partition(" ")
+        grammar = ATTRIBUTE_SCHEMAS.get(current.prefix, {}).get(key)
+        if grammar == "text":
+            current.attributes.append(Attribute(key, text=rest))
+        else:
+            current.attributes.append(Attribute(key, words=rest.split()))
+    if doc is None:
+        raise PdbParseError("empty input: missing <PDB> header", 0)
+    return doc
+
+
+def parse_pdb_file(path: str) -> PdbDocument:
+    """Parse a PDB file from disk."""
+    with open(path) as f:
+        return parse_pdb(f.read())

@@ -1,0 +1,37 @@
+"""SILOON — Scripting Interface Languages for Object-Oriented Numerics
+(paper Section 4.2).
+
+The paper's second PDT application: "SILOON uses PDT to parse source
+code from existing object-oriented class libraries and extract
+information regarding the interfaces to functions and class methods.
+This information is then used to generate bridging code, which, when
+compiled, provides the run-time support for linking user scripts with
+back-end computational engines."
+
+* :mod:`repro.siloon.mangler` — name mangling so templated/operator
+  names are accessible from scripting languages,
+* :mod:`repro.siloon.generator` — wrapper (script-side) and bridging
+  (engine-side) code generation from a PDB,
+* :mod:`repro.siloon.bridge` — the routine management structures:
+  registration and call dispatch into the computational engine (here,
+  the execution simulator — see DESIGN.md substitutions).
+"""
+
+from repro.siloon.bridge import Bridge, RegisteredRoutine
+from repro.siloon.generator import (
+    BindingSet,
+    generate_bindings,
+    propose_instantiations,
+)
+from repro.siloon.mangler import demangle_hint, mangle_routine, mangle_text
+
+__all__ = [
+    "BindingSet",
+    "Bridge",
+    "RegisteredRoutine",
+    "demangle_hint",
+    "generate_bindings",
+    "mangle_routine",
+    "mangle_text",
+    "propose_instantiations",
+]

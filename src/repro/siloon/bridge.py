@@ -1,0 +1,175 @@
+"""SILOON's routine management structures and call dispatch.
+
+Paper Section 4.2: the generated bridging functions "register
+user-designated library routines with SILOON's routine management
+structures, and process function calls from the scripting languages."
+
+:class:`Bridge` is that structure: a registry keyed by mangled name,
+plus a dispatcher.  The "back-end computational engine" is the execution
+simulator (DESIGN.md substitution): a dispatched call simulates the
+routine's call subtree on the virtual machine and returns a default
+value of the routine's return type, while the registry records call
+statistics a test can assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.ductape.items import PdbRoutine
+from repro.ductape.pdb import PDB
+from repro.tau.machine import CostModel, uniform_model
+from repro.tau.runtime import Profiler
+
+
+@dataclass
+class RegisteredRoutine:
+    """One entry in the routine management structure."""
+
+    mangled: str
+    full_name: str
+    routine: PdbRoutine
+    is_member: bool
+    is_static: bool
+    is_constructor: bool
+    param_count: int
+    required_params: int
+    return_kind: str
+    calls: int = 0
+
+
+class SiloonError(Exception):
+    """Raised on bad dispatches (unknown routine, arity mismatch)."""
+
+
+class Bridge:
+    """Routine registry + dispatcher into the computational engine."""
+
+    def __init__(self, pdb: PDB, cost: Optional[CostModel] = None):
+        self.pdb = pdb
+        self.cost = cost or uniform_model()
+        self.registry: dict[str, RegisteredRoutine] = {}
+        self.profiler = Profiler()
+        self._object_counter = 0
+
+    # -- registration ----------------------------------------------------
+
+    def register(self, mangled: str, routine: PdbRoutine) -> RegisteredRoutine:
+        sig = routine.signature()
+        params = sig.argumentTypes() if sig is not None else []
+        ret = sig.returnType() if sig is not None else None
+        # resolve typedefs so default-value synthesis sees the real type
+        guard = 0
+        while ret is not None and getattr(ret, "kind", lambda: "")() == "typedef" and guard < 8:
+            ret = ret.referencedType()
+            guard += 1
+        entry = RegisteredRoutine(
+            mangled=mangled,
+            full_name=routine.fullName(),
+            routine=routine,
+            is_member=routine.parentClass() is not None,
+            is_static=routine.isStatic(),
+            is_constructor=routine.kind() == PdbRoutine.RO_CTOR,
+            param_count=len(params),
+            required_params=len(params),  # defaults tracked by generator
+            return_kind=ret.name() if ret is not None else "void",
+        )
+        self.registry[mangled] = entry
+        return entry
+
+    def lookup(self, mangled: str) -> RegisteredRoutine:
+        entry = self.registry.get(mangled)
+        if entry is None:
+            raise SiloonError(f"routine not registered: {mangled}")
+        return entry
+
+    # -- dispatch ------------------------------------------------------------
+
+    def construct(self, ctor_mangles: list[str], *args: Any) -> Any:
+        """Constructor overload dispatch: pick the registered constructor
+        whose arity admits ``args`` (generated ``__init__`` entry point)."""
+        entries = [self.lookup(m) for m in ctor_mangles]
+        viable = [
+            e for e in entries
+            if e.required_params <= len(args) <= e.param_count
+        ]
+        chosen = viable[0] if viable else (entries[0] if entries else None)
+        if chosen is None:
+            raise SiloonError("class has no bound constructor")
+        return self.call(chosen.mangled, *args)
+
+    def call(self, mangled: str, *args: Any) -> Any:
+        """Process a call from the scripting language: validate, run the
+        engine, synthesise a return value."""
+        entry = self.lookup(mangled)
+        given = len(args) - (1 if entry.is_member and not entry.is_constructor and not entry.is_static else 0)
+        if given > entry.param_count:
+            raise SiloonError(
+                f"{entry.full_name}: too many arguments ({given} > {entry.param_count})"
+            )
+        entry.calls += 1
+        self._simulate(entry.routine)
+        if entry.is_constructor:
+            self._object_counter += 1
+            return ObjectHandle(self, entry, self._object_counter)
+        return _default_value(entry.return_kind)
+
+    def _simulate(self, routine: PdbRoutine) -> None:
+        """Run the routine's call subtree on the virtual engine."""
+        from repro.tau.simulate import ExecutionSimulator, WorkloadSpec
+
+        spec = WorkloadSpec(entry=routine.fullName(), cost=self.cost)
+        try:
+            sim = ExecutionSimulator(self.pdb, spec)
+        except ValueError:
+            return  # declaration-only routine: nothing to execute
+        result = sim.run()
+        prof = self.profiler.profile(0)
+        for name, t in result.profile(0).timers.items():
+            agg = prof.timer(name)
+            agg.calls += t.calls
+            agg.inclusive += t.inclusive
+            agg.exclusive += t.exclusive
+        prof.advance(result.profile(0).total_time())
+
+    # -- introspection ----------------------------------------------------------
+
+    def call_counts(self) -> dict[str, int]:
+        return {m: e.calls for m, e in self.registry.items() if e.calls}
+
+    def total_engine_time(self) -> float:
+        return self.profiler.profile(0).total_time()
+
+
+@dataclass
+class ObjectHandle:
+    """A scripting-side handle to an engine-side C++ object."""
+
+    bridge: Bridge = field(repr=False)
+    ctor: RegisteredRoutine = field(repr=False)
+    oid: int = 0
+
+    @property
+    def cpp_class(self) -> str:
+        parent = self.ctor.routine.parentClass()
+        return parent.fullName() if parent is not None else self.ctor.full_name
+
+    def __repr__(self) -> str:
+        return f"<{self.cpp_class} object #{self.oid}>"
+
+
+def _default_value(return_kind: str) -> Any:
+    """Synthesise a scripting-language value for a C++ return type."""
+    rk = return_kind
+    if rk == "void":
+        return None
+    if rk in ("bool",):
+        return False
+    if any(w in rk for w in ("int", "long", "short", "char")):
+        return 0
+    if any(w in rk for w in ("double", "float")):
+        return 0.0
+    if "char *" in rk or rk == "string":
+        return ""
+    return None

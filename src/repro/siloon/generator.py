@@ -1,0 +1,307 @@
+"""SILOON code generation: wrappers and bridging code from a PDB.
+
+Paper Figure 8: PDT parses the user's library, SILOON generates
+
+* **bridging code** — "language-independent", engine-side functions that
+  register routines with the routine management structures (rendered
+  here as the C-linkage source text the real SILOON would compile), and
+* **wrapper functions** — "written in the scripting language", providing
+  a natural interface: one Python class per C++ class, one Python
+  function per free routine, overloads disambiguated by suffix, C++
+  operators mapped to Python dunder methods where natural.
+
+Template policy, verbatim from the paper: "the user must explicitly
+instantiate such templates in the parsed code; only these instantiations
+are included in PDT's output."  :func:`propose_instantiations`
+implements the paper's *future-work extension*: presenting the template
+list and generating explicit instantiation requests for selected
+templates.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.ductape.items import PdbClass, PdbRoutine, PdbTemplate
+from repro.ductape.pdb import PDB
+from repro.siloon.bridge import Bridge
+from repro.siloon.mangler import mangle_routine, mangle_text
+
+#: C++ operator -> natural Python method name
+_OPERATOR_NAMES = {
+    "operator[]": "__getitem__",
+    "operator()": "__call__",
+    "operator==": "__eq__",
+    "operator!=": "__ne__",
+    "operator<": "__lt__",
+    "operator>": "__gt__",
+    "operator<=": "__le__",
+    "operator>=": "__ge__",
+    "operator+": "__add__",
+    "operator-": "__sub__",
+    "operator*": "__mul__",
+    "operator/": "__truediv__",
+    "operator=": "assign",
+    "operator+=": "iadd",
+    "operator-=": "isub",
+    "operator<<": "lshift",
+    "operator>>": "rshift",
+}
+
+
+@dataclass
+class RoutineBinding:
+    """One routine exposed to the scripting language."""
+
+    routine: PdbRoutine
+    mangled: str
+    python_name: str
+    owner: Optional[PdbClass] = None
+
+    @property
+    def is_constructor(self) -> bool:
+        return self.routine.kind() == PdbRoutine.RO_CTOR
+
+
+@dataclass
+class ClassBinding:
+    """One class exposed to the scripting language."""
+
+    cls: PdbClass
+    python_name: str
+    constructors: list[RoutineBinding] = field(default_factory=list)
+    methods: list[RoutineBinding] = field(default_factory=list)
+
+
+@dataclass
+class BindingSet:
+    """Everything SILOON generated for one library."""
+
+    classes: list[ClassBinding] = field(default_factory=list)
+    functions: list[RoutineBinding] = field(default_factory=list)
+    wrapper_source: str = ""
+    bridging_source: str = ""
+
+    def all_routine_bindings(self) -> list[RoutineBinding]:
+        out: list[RoutineBinding] = list(self.functions)
+        for cb in self.classes:
+            out.extend(cb.constructors)
+            out.extend(cb.methods)
+        return out
+
+    def register_all(self, bridge: Bridge) -> int:
+        """Run the bridging code's registration step."""
+        n = 0
+        for rb in self.all_routine_bindings():
+            entry = bridge.register(rb.mangled, rb.routine)
+            entry.required_params = rb.routine.requiredParameterCount()
+            n += 1
+        return n
+
+    def make_module(self, bridge: Bridge) -> dict[str, Any]:
+        """Execute the generated Python wrapper source against a bridge;
+        returns the module namespace (classes and functions ready to use)."""
+        namespace: dict[str, Any] = {"_bridge": bridge}
+        exec(compile(self.wrapper_source, "<siloon-wrapper>", "exec"), namespace)
+        return namespace
+
+
+def generate_bindings(
+    pdb: PDB,
+    class_names: Optional[list[str]] = None,
+    include_free_functions: bool = True,
+    skip_files: tuple[str, ...] = (),
+) -> BindingSet:
+    """Generate scripting bindings for the classes/functions in a PDB.
+
+    ``class_names`` restricts binding to the named classes (full names);
+    default is every defined class.  ``skip_files`` excludes entities
+    whose defining file matches one of the given substrings (e.g. the
+    mini-STL headers when binding a user library)."""
+    bs = BindingSet()
+    taken: dict[str, int] = {}
+    for cls in pdb.getClassVec():
+        if class_names is not None and cls.fullName() not in class_names and cls.name() not in class_names:
+            continue
+        if _in_skipped_file(cls, skip_files):
+            continue
+        if not cls.memberFunctions():
+            continue
+        cb = ClassBinding(cls=cls, python_name=_python_class_name(cls, taken))
+        method_names: dict[str, int] = {}
+        for r in cls.memberFunctions():
+            if r.access() not in ("pub", "NA"):
+                continue
+            kind = r.kind()
+            if kind == PdbRoutine.RO_DTOR:
+                continue  # lifetime handled by the scripting language
+            rb = RoutineBinding(
+                routine=r,
+                mangled=mangle_routine(r),
+                python_name=_python_method_name(r, method_names),
+                owner=cls,
+            )
+            if kind == PdbRoutine.RO_CTOR:
+                cb.constructors.append(rb)
+            else:
+                cb.methods.append(rb)
+        bs.classes.append(cb)
+    if include_free_functions:
+        fn_names: dict[str, int] = {}
+        for r in pdb.getRoutineVec():
+            if r.parentClass() is not None:
+                continue
+            if _in_skipped_file(r, skip_files):
+                continue
+            if class_names is not None:
+                continue  # explicit class selection: no free functions
+            bs.functions.append(
+                RoutineBinding(
+                    routine=r,
+                    mangled=mangle_routine(r),
+                    python_name=_python_method_name(r, fn_names),
+                )
+            )
+    bs.wrapper_source = _render_wrapper(bs)
+    bs.bridging_source = _render_bridging(bs)
+    return bs
+
+
+def propose_instantiations(
+    pdb: PDB, default_args: tuple[str, ...] = ("double", "int")
+) -> list[tuple[PdbTemplate, str]]:
+    """The paper's future-work extension: list class templates that have
+    no instantiation in the PDB and generate explicit instantiation
+    directives the user can add to the parsed code."""
+    instantiated: set = set()
+    for c in pdb.getClassVec():
+        te = c.template()
+        if te is not None:
+            instantiated.add(te.ref)
+    proposals: list[tuple[PdbTemplate, str]] = []
+    for te in pdb.getTemplateVec():
+        if te.kind() != PdbTemplate.TE_CLASS:
+            continue
+        if te.ref in instantiated:
+            continue
+        n_params = max(1, te.text().count("class ") + te.text().count("typename "))
+        header = te.text().split("class " + te.name())[0] if te.text() else ""
+        n_params = max(1, header.count("class") + header.count("typename"))
+        args = ", ".join(default_args[i % len(default_args)] for i in range(n_params))
+        proposals.append((te, f"template class {te.fullName()}<{args}>;"))
+    return proposals
+
+
+# -- naming -----------------------------------------------------------------
+
+
+def _python_class_name(cls: PdbClass, taken: dict[str, int]) -> str:
+    name = re.sub(r"[^0-9a-zA-Z_]+", "_", cls.name()).strip("_")
+    if not name or name[0].isdigit():
+        name = "C" + name
+    return _dedupe(name, taken)
+
+
+def _python_method_name(r: PdbRoutine, taken: dict[str, int]) -> str:
+    name = r.name()
+    if r.kind() == PdbRoutine.RO_OP or name.startswith("operator"):
+        mapped = _OPERATOR_NAMES.get(name.split("<")[0].strip())
+        if mapped is not None:
+            return _dedupe(mapped, taken)
+        name = mangle_text(name)[len("siloon_"):]
+    name = re.sub(r"[^0-9a-zA-Z_]+", "_", name).strip("_")
+    if not name or name[0].isdigit():
+        name = "f_" + name
+    return _dedupe(name, taken)
+
+
+def _dedupe(name: str, taken: dict[str, int]) -> str:
+    n = taken.get(name, 0)
+    taken[name] = n + 1
+    return name if n == 0 else f"{name}_{n + 1}"
+
+
+def _in_skipped_file(item, skip_files: tuple[str, ...]) -> bool:
+    loc = item.location()
+    if not loc.known:
+        return False
+    fname = loc.file().name()
+    return any(s in fname for s in skip_files)
+
+
+# -- rendering ------------------------------------------------------------------
+
+
+def _render_wrapper(bs: BindingSet) -> str:
+    """The script-side wrapper module (real, executable Python)."""
+    lines: list[str] = [
+        '"""SILOON-generated wrapper module (do not edit).',
+        "",
+        "Provides a natural scripting interface to the C++ library; all",
+        "calls route through the language-independent bridge.",
+        '"""',
+        "",
+    ]
+    for cb in bs.classes:
+        lines.append(f"class {cb.python_name}:")
+        lines.append(f'    """Wrapper for C++ class {cb.cls.fullName()}."""')
+        lines.append(f"    _cpp_name = {cb.cls.fullName()!r}")
+        lines.append("")
+        if cb.constructors:
+            mangles = [c.mangled for c in cb.constructors]
+            lines.append("    def __init__(self, *args):")
+            lines.append(
+                f"        self._handle = _bridge.construct({mangles!r}, *args)"
+            )
+        else:
+            lines.append("    def __init__(self):")
+            lines.append("        self._handle = None")
+        lines.append("")
+        for rb in cb.methods:
+            if rb.routine.isStatic():
+                lines.append("    @staticmethod")
+                lines.append(f"    def {rb.python_name}(*args):")
+                lines.append(f"        return _bridge.call({rb.mangled!r}, *args)")
+            else:
+                lines.append(f"    def {rb.python_name}(self, *args):")
+                lines.append(
+                    f"        return _bridge.call({rb.mangled!r}, self._handle, *args)"
+                )
+            lines.append("")
+    for rb in bs.functions:
+        lines.append(f"def {rb.python_name}(*args):")
+        lines.append(f'    """Wrapper for C++ function {rb.routine.fullName()}."""')
+        lines.append(f"    return _bridge.call({rb.mangled!r}, *args)")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _render_bridging(bs: BindingSet) -> str:
+    """The engine-side bridging code (C-linkage source text, as the real
+    SILOON would compile against the library)."""
+    lines: list[str] = [
+        "/* SILOON-generated bridging code (do not edit). */",
+        '#include "siloon_runtime.h"',
+        "",
+    ]
+    for rb in bs.all_routine_bindings():
+        sig = rb.routine.signature()
+        sig_text = sig.name() if sig is not None else "()"
+        lines.append(f"/* {rb.routine.fullName()} {sig_text} */")
+        lines.append(
+            f'extern "C" SiloonValue {rb.mangled}(SiloonArgs args) {{'
+        )
+        lines.append(
+            f"    return siloon_dispatch(\"{rb.mangled}\", args);"
+        )
+        lines.append("}")
+        lines.append("")
+    lines.append('extern "C" void siloon_register_all(SiloonRegistry * registry) {')
+    for rb in bs.all_routine_bindings():
+        lines.append(
+            f'    siloon_register(registry, "{rb.mangled}", (SiloonFn) {rb.mangled});'
+        )
+    lines.append("}")
+    return "\n".join(lines)

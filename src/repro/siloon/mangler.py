@@ -1,0 +1,96 @@
+"""SILOON name mangling.
+
+Paper Section 4.2: "Templates are treated the same as other entities by
+SILOON, with the exception that non-alphanumeric characters in the name
+are mangled (i.e., transformed to include information on types and
+qualifiers), so that they can be accessed in scripting languages."
+
+The encoding must be an *injective* map from C++ entity names (which
+contain ``<>,:~()&*`` and spaces) to scripting-language identifiers —
+property-tested in the suite.  Scheme: alphanumerics pass through; every
+other character becomes ``_xNN`` (two hex digits); ``_`` itself becomes
+``_x5f``; a ``siloon_`` prefix keeps the namespace clean and guarantees
+the result never starts with a digit.
+"""
+
+from __future__ import annotations
+
+from repro.ductape.items import PdbRoutine
+
+_PREFIX = "siloon_"
+
+#: readable aliases for the most common specials (still injective: the
+#: alias table is prefix-free with respect to hex escapes because every
+#: alias is ``_`` + letters and escapes are ``_x`` + 2 hex digits, with
+#: ``x`` excluded from alias spellings).
+_ALIASES = {
+    "<": "_lt",
+    ">": "_gt",
+    ",": "_cm",
+    ":": "_cl",
+    "~": "_dt",
+    "(": "_lp",
+    ")": "_rp",
+    "&": "_rf",
+    "*": "_pt",
+    " ": "_sp",
+    "[": "_lb",
+    "]": "_rb",
+    "=": "_eq",
+    "+": "_pl",
+    "-": "_mi",
+    "/": "_dv",
+    "!": "_nt",
+    "%": "_pc",
+    "|": "_or",
+    "^": "_ca",
+}
+
+
+def mangle_text(text: str) -> str:
+    """Mangle arbitrary text into an identifier (injective)."""
+    out: list[str] = [_PREFIX]
+    for ch in text:
+        if ch.isalnum():
+            out.append(ch)
+        elif ch == "_":
+            out.append("_x5f")
+        elif ch in _ALIASES:
+            out.append(_ALIASES[ch])
+        else:
+            out.append(f"_x{ord(ch):02x}")
+    return "".join(out)
+
+
+def mangle_routine(r: PdbRoutine) -> str:
+    """Mangle a routine's full name *and* signature — overloads of the
+    same name map to distinct identifiers (types and qualifiers are part
+    of the encoding, as the paper specifies)."""
+    sig = r.signature()
+    sig_text = sig.name() if sig is not None else "()"
+    return mangle_text(f"{r.fullName()} {sig_text}")
+
+
+def demangle_hint(mangled: str) -> str:
+    """Best-effort reverse for diagnostics (exact for this encoding)."""
+    s = mangled
+    if s.startswith(_PREFIX):
+        s = s[len(_PREFIX):]
+    rev = {v: k for k, v in _ALIASES.items()}
+    out: list[str] = []
+    i = 0
+    while i < len(s):
+        if s[i] == "_" and i + 3 <= len(s) and s[i + 1] == "x":
+            try:
+                out.append(chr(int(s[i + 2 : i + 4], 16)))
+                i += 4
+                continue
+            except ValueError:
+                pass
+        if s[i] == "_" and i + 3 <= len(s) and s[i : i + 3] in rev:
+            out.append(rev[s[i : i + 3]])
+            i += 3
+            continue
+        out.append(s[i])
+        i += 1
+    return "".join(out)

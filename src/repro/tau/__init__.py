@@ -1,0 +1,41 @@
+"""TAU — Tuning and Analysis Utilities (paper Section 4.1).
+
+The paper's first PDT application: "The TAU instrumentor iterates
+through the PDB descriptions of functions and templates to rewrite the
+original source file, annotating the functions with TAU measurement
+macros."  Modules:
+
+* :mod:`repro.tau.selector` — which entities get instrumented and
+  whether they need run-time type information (the ``CT(*this)``
+  decision of paper Figure 6),
+* :mod:`repro.tau.instrumentor` — source rewriting with ``TAU_PROFILE``
+  macros,
+* :mod:`repro.tau.runtime` — the measurement library: timers, per-node
+  profile storage,
+* :mod:`repro.tau.machine` — the deterministic cost model standing in
+  for real hardware (see DESIGN.md substitutions),
+* :mod:`repro.tau.simulate` — the call-graph execution simulator that
+  drives the runtime ("running" the instrumented program),
+* :mod:`repro.tau.profile` — pprof-style profile displays (the Figure 7
+  analog),
+* :mod:`repro.tau.tracing` — event traces and merging.
+"""
+
+from repro.tau.instrumentor import InstrumentedSource, instrument_sources
+from repro.tau.profile import format_profile, format_mean_profile
+from repro.tau.runtime import Profiler, TimerStats
+from repro.tau.selector import InstrumentationPoint, select_instrumentation
+from repro.tau.simulate import ExecutionSimulator, WorkloadSpec
+
+__all__ = [
+    "ExecutionSimulator",
+    "InstrumentationPoint",
+    "InstrumentedSource",
+    "Profiler",
+    "TimerStats",
+    "WorkloadSpec",
+    "format_mean_profile",
+    "format_profile",
+    "instrument_sources",
+    "select_instrumentation",
+]

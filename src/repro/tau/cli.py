@@ -1,0 +1,82 @@
+"""tau-instr — instrument C++ sources using PDT, run the simulator,
+and display profiles (the TAU workflow of paper Section 4.1)."""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Optional
+
+from repro.analyzer import analyze
+from repro.cpp import Frontend, FrontendOptions
+from repro.ductape.pdb import PDB
+from repro.tau.instrumentor import TAU_H, instrument_sources
+from repro.tau.profile import format_mean_profile, format_profile
+from repro.tau.selector import select_instrumentation
+from repro.tau.simulate import ExecutionSimulator, TauNaming, WorkloadSpec
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point."""
+    ap = argparse.ArgumentParser(
+        prog="tau-instr",
+        description="TAU automatic source instrumentation via PDT",
+    )
+    ap.add_argument("source", help="translation unit to instrument")
+    ap.add_argument("-I", dest="include_paths", action="append", default=[])
+    ap.add_argument("-o", "--outdir", default="tau-out", help="rewritten sources dir")
+    ap.add_argument("--run", action="store_true", help="simulate execution and profile")
+    ap.add_argument("--nodes", type=int, default=1, help="simulated node count")
+    ap.add_argument("--entry", default="main", help="entry routine")
+    ap.add_argument(
+        "--select", help="TAU selective instrumentation file (BEGIN_EXCLUDE_LIST ...)"
+    )
+    args = ap.parse_args(argv)
+
+    rules = None
+    if args.select:
+        from repro.tau.selectfile import SelectiveRules
+
+        with open(args.select) as fh:
+            rules = SelectiveRules.parse(fh.read())
+
+    fe = Frontend(FrontendOptions(include_paths=args.include_paths))
+    tree = fe.compile(args.source)
+    pdb = PDB(analyze(tree))
+    sources = {
+        f.name: f.text for f in tree.files if not f.name.startswith("<")
+    }
+    if rules is not None:
+        from repro.tau.instrumentor import instrument_file
+
+        results = {}
+        for name, text in sources.items():
+            pts = rules.apply(select_instrumentation(pdb, file=name))
+            results[name] = instrument_file(name, text, pts)
+    else:
+        results = instrument_sources(pdb, sources)
+    os.makedirs(args.outdir, exist_ok=True)
+    with open(os.path.join(args.outdir, "TAU.h"), "w") as fh:
+        fh.write(TAU_H)
+    n_macros = 0
+    for name, res in results.items():
+        out_path = os.path.join(args.outdir, os.path.basename(name))
+        with open(out_path, "w") as fh:
+            fh.write(res.text)
+        n_macros += len(res.insertions)
+    print(f"{args.outdir}: {len(results)} files rewritten, {n_macros} timers inserted")
+    if args.run:
+        points = select_instrumentation(pdb)
+        if rules is not None:
+            points = rules.apply(points)
+        spec = WorkloadSpec(entry=args.entry, nodes=args.nodes)
+        sim = ExecutionSimulator(pdb, spec, namer=TauNaming(points).timer_for)
+        profiler = sim.run()
+        if args.nodes > 1:
+            print(format_mean_profile(profiler))
+        print(format_profile(profiler, node=0))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""TAU's on-disk profile format: ``profile.<node>.<context>.<thread>``.
+
+The real TAU runtime dumps one file per (n,c,t) at program exit; pprof
+and paraprof read them back.  Format (per file)::
+
+    <ntimers> templated_functions
+    # Name Calls Subrs Excl Incl ProfileCalls
+    "main() int ()" 1 4 12.5 3210.0 0 GROUP="TAU_DEFAULT"
+    ...
+    0 aggregates
+
+:func:`write_profiles` / :func:`read_profiles` round-trip a
+:class:`~repro.tau.runtime.Profiler` through that format, so simulated
+runs can be inspected with the same file-based workflow the paper's
+users had.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Optional
+
+from repro.tau.runtime import Profiler, ThreadProfile
+
+_HEADER_RE = re.compile(r"^(\d+)\s+templated_functions")
+_ROW_RE = re.compile(
+    r'^"(?P<name>(?:[^"\\]|\\.)*)"\s+'
+    r"(?P<calls>\d+)\s+(?P<subrs>\d+)\s+"
+    r"(?P<excl>[0-9.eE+-]+)\s+(?P<incl>[0-9.eE+-]+)\s+"
+    r'(?P<pcalls>\d+)\s+GROUP="(?P<group>[^"]*)"\s*$'
+)
+_FILE_RE = re.compile(r"^profile\.(\d+)\.(\d+)\.(\d+)$")
+
+
+def profile_file_name(node: int, context: int = 0, thread: int = 0) -> str:
+    """TAU's profile file naming convention."""
+    return f"profile.{node}.{context}.{thread}"
+
+
+def write_profiles(profiler: Profiler, directory: str) -> list[str]:
+    """Dump one ``profile.n.c.t`` file per thread profile; returns the
+    written file names."""
+    os.makedirs(directory, exist_ok=True)
+    written: list[str] = []
+    for (node, context, thread), prof in sorted(profiler.profiles.items()):
+        name = profile_file_name(node, context, thread)
+        path = os.path.join(directory, name)
+        with open(path, "w") as f:
+            f.write(render_profile(prof))
+        written.append(name)
+    return written
+
+
+def render_profile(prof: ThreadProfile) -> str:
+    """Render one thread profile in TAU's file format."""
+    lines = [f"{len(prof.timers)} templated_functions"]
+    lines.append("# Name Calls Subrs Excl Incl ProfileCalls")
+    for t in prof.timers.values():
+        quoted = t.name.replace("\\", "\\\\").replace('"', '\\"')
+        lines.append(
+            f'"{quoted}" {t.calls} {t.subrs} {t.exclusive:.6g} '
+            f'{t.inclusive:.6g} 0 GROUP="{t.group}"'
+        )
+    lines.append("0 aggregates")
+    return "\n".join(lines) + "\n"
+
+
+def read_profiles(directory: str) -> Profiler:
+    """Load every ``profile.n.c.t`` file in ``directory``."""
+    profiler = Profiler()
+    for entry in sorted(os.listdir(directory)):
+        m = _FILE_RE.match(entry)
+        if m is None:
+            continue
+        node, context, thread = (int(g) for g in m.groups())
+        with open(os.path.join(directory, entry)) as f:
+            _parse_into(profiler.profile(node, context, thread), f.read(), entry)
+    return profiler
+
+
+def _parse_into(prof: ThreadProfile, text: str, source: str) -> None:
+    lines = text.splitlines()
+    if not lines:
+        raise ValueError(f"{source}: empty profile file")
+    head = _HEADER_RE.match(lines[0])
+    if head is None:
+        raise ValueError(f"{source}: malformed header {lines[0]!r}")
+    expected = int(head.group(1))
+    seen = 0
+    total = 0.0
+    for line in lines[1:]:
+        if line.startswith("#") or not line.strip():
+            continue
+        if line.strip().endswith("aggregates"):
+            break
+        m = _ROW_RE.match(line)
+        if m is None:
+            raise ValueError(f"{source}: malformed row {line!r}")
+        name = m.group("name").replace('\\"', '"').replace("\\\\", "\\")
+        t = prof.timer(name, m.group("group"))
+        t.calls = int(m.group("calls"))
+        t.subrs = int(m.group("subrs"))
+        t.exclusive = float(m.group("excl"))
+        t.inclusive = float(m.group("incl"))
+        total = max(total, t.inclusive)
+        seen += 1
+    if seen != expected:
+        raise ValueError(f"{source}: header says {expected} timers, found {seen}")
+    # restore the elapsed clock from the deepest inclusive time
+    prof.advance(total)

@@ -1,0 +1,203 @@
+"""The TAU measurement runtime: timers and profile storage.
+
+A real (not mocked) measurement library: timers nest on a per-thread
+stack, exclusive time flows to the routine on top, inclusive time covers
+the whole span, and statistics accumulate per (node, context, thread) —
+TAU's n,c,t triple.  The only substitution versus the paper is the clock
+source: instead of wall-clock on real hardware, time is whatever the
+caller reports (the execution simulator's virtual cycle counter), which
+keeps profiles deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class TimerStats:
+    """Accumulated measurements for one timer on one (n,c,t)."""
+
+    name: str
+    group: str = "TAU_DEFAULT"
+    calls: int = 0
+    subrs: int = 0  # child timer starts while this timer was on top
+    inclusive: float = 0.0
+    exclusive: float = 0.0
+
+    @property
+    def inclusive_per_call(self) -> float:
+        return self.inclusive / self.calls if self.calls else 0.0
+
+    @property
+    def exclusive_per_call(self) -> float:
+        return self.exclusive / self.calls if self.calls else 0.0
+
+
+@dataclass
+class _ActiveTimer:
+    stats: TimerStats
+    start: float
+    child_time: float = 0.0
+    #: first activation of this timer on the stack — recursive
+    #: re-activations must not double-count inclusive time
+    outermost: bool = True
+
+
+class ThreadProfile:
+    """Timer storage and the running timer stack for one (n,c,t)."""
+
+    def __init__(self, node: int = 0, context: int = 0, thread: int = 0):
+        self.node = node
+        self.context = context
+        self.thread = thread
+        self.timers: dict[str, TimerStats] = {}
+        self._stack: list[_ActiveTimer] = []
+        self._now = 0.0
+
+    # -- clock ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> None:
+        """Report elapsed work time (the simulator's virtual clock)."""
+        if dt < 0:
+            raise ValueError("time cannot run backwards")
+        self._now += dt
+
+    # -- timers ------------------------------------------------------------
+
+    def timer(self, name: str, group: str = "TAU_DEFAULT") -> TimerStats:
+        t = self.timers.get(name)
+        if t is None:
+            t = TimerStats(name=name, group=group)
+            self.timers[name] = t
+        return t
+
+    def start(self, name: str, group: str = "TAU_DEFAULT") -> None:
+        stats = self.timer(name, group)
+        stats.calls += 1
+        if self._stack:
+            self._stack[-1].stats.subrs += 1
+        outermost = all(a.stats is not stats for a in self._stack)
+        self._stack.append(
+            _ActiveTimer(stats=stats, start=self._now, outermost=outermost)
+        )
+
+    def stop(self, name: Optional[str] = None) -> None:
+        if not self._stack:
+            raise RuntimeError("timer stack underflow")
+        active = self._stack.pop()
+        if name is not None and active.stats.name != name:
+            raise RuntimeError(
+                f"timer stop mismatch: stopping {name!r}, "
+                f"top of stack is {active.stats.name!r}"
+            )
+        span = self._now - active.start
+        if active.outermost:
+            active.stats.inclusive += span
+        active.stats.exclusive += span - active.child_time
+        if self._stack:
+            self._stack[-1].child_time += span
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def top(self) -> Optional[TimerStats]:
+        return self._stack[-1].stats if self._stack else None
+
+    def total_time(self) -> float:
+        return self._now
+
+    def check_consistency(self) -> None:
+        """Invariants any real profile must satisfy (property-tested):
+        inclusive >= exclusive >= 0 for every timer, and no timer's
+        inclusive exceeds the total elapsed time."""
+        for t in self.timers.values():
+            assert t.exclusive >= -1e-9, f"{t.name}: negative exclusive"
+            assert t.inclusive >= t.exclusive - 1e-9, f"{t.name}: incl < excl"
+            assert t.inclusive <= self._now + 1e-9, f"{t.name}: incl > total"
+
+
+class Profiler:
+    """Whole-program profile storage across nodes/contexts/threads."""
+
+    def __init__(self):
+        self.profiles: dict[tuple[int, int, int], ThreadProfile] = {}
+
+    def profile(self, node: int = 0, context: int = 0, thread: int = 0) -> ThreadProfile:
+        key = (node, context, thread)
+        p = self.profiles.get(key)
+        if p is None:
+            p = ThreadProfile(node, context, thread)
+            self.profiles[key] = p
+        return p
+
+    def nodes(self) -> list[int]:
+        return sorted({n for (n, _, _) in self.profiles})
+
+    def all_timer_names(self) -> list[str]:
+        names: dict[str, None] = {}
+        for p in self.profiles.values():
+            for name in p.timers:
+                names.setdefault(name)
+        return list(names)
+
+    def mean_stats(self) -> dict[str, TimerStats]:
+        """Per-timer statistics averaged over all (n,c,t) profiles —
+        TAU's "mean" display (paper Figure 7 shows mean profiles)."""
+        count = max(1, len(self.profiles))
+        out: dict[str, TimerStats] = {}
+        for name in self.all_timer_names():
+            agg = TimerStats(name=name)
+            for p in self.profiles.values():
+                t = p.timers.get(name)
+                if t is None:
+                    continue
+                agg.calls += t.calls
+                agg.subrs += t.subrs
+                agg.inclusive += t.inclusive
+                agg.exclusive += t.exclusive
+                agg.group = t.group
+            agg.calls = agg.calls // count if agg.calls else 0
+            agg.subrs = agg.subrs // count
+            agg.inclusive /= count
+            agg.exclusive /= count
+            out[name] = agg
+        return out
+
+    def groups(self) -> list[str]:
+        """All profile groups seen across nodes (TAU_USER, TAU_FIELD, …)."""
+        out: dict[str, None] = {}
+        for p in self.profiles.values():
+            for t in p.timers.values():
+                out.setdefault(t.group)
+        return list(out)
+
+    def group_stats(self, group: str) -> dict[str, TimerStats]:
+        """Mean statistics restricted to one profile group — TAU's
+        group-filtered displays."""
+        return {
+            name: t for name, t in self.mean_stats().items() if t.group == group
+        }
+
+    def total_stats(self) -> dict[str, TimerStats]:
+        """Per-timer statistics summed over all profiles."""
+        out: dict[str, TimerStats] = {}
+        for name in self.all_timer_names():
+            agg = TimerStats(name=name)
+            for p in self.profiles.values():
+                t = p.timers.get(name)
+                if t is None:
+                    continue
+                agg.calls += t.calls
+                agg.subrs += t.subrs
+                agg.inclusive += t.inclusive
+                agg.exclusive += t.exclusive
+                agg.group = t.group
+            out[name] = agg
+        return out

@@ -1,0 +1,140 @@
+"""TAU selective-instrumentation files.
+
+Real-world TAU drives the PDT-based instrumentor with a *select file*
+restricting what gets instrumented::
+
+    BEGIN_EXCLUDE_LIST
+    vector#
+    # comment: '#' inside a name is TAU's wildcard
+    ostream::operator<<#
+    END_EXCLUDE_LIST
+
+    BEGIN_FILE_INCLUDE_LIST
+    StackAr.cpp
+    *.h
+    END_FILE_INCLUDE_LIST
+
+Supported sections: ``BEGIN_EXCLUDE_LIST``/``END_EXCLUDE_LIST``,
+``BEGIN_INCLUDE_LIST``/``END_INCLUDE_LIST`` (routine name patterns with
+``#`` as the multi-character wildcard), and
+``BEGIN_FILE_INCLUDE_LIST``/``BEGIN_FILE_EXCLUDE_LIST`` (file patterns
+with ``*``/``?`` globs).  Include lists, when present, are exhaustive;
+exclude lists prune.  Lines starting with ``#`` outside a name are
+comments when the ``#`` is the first character and the line is not a
+pattern continuation — TAU's actual rule; here: a line whose first
+non-blank char is ``#`` AND which contains a space is a comment.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from dataclasses import dataclass, field
+
+from repro.tau.selector import InstrumentationPoint
+
+
+@dataclass
+class SelectiveRules:
+    """Parsed select-file rules."""
+
+    exclude: list[str] = field(default_factory=list)
+    include: list[str] = field(default_factory=list)
+    file_include: list[str] = field(default_factory=list)
+    file_exclude: list[str] = field(default_factory=list)
+
+    # -- parsing ----------------------------------------------------------
+
+    _SECTIONS = {
+        "BEGIN_EXCLUDE_LIST": ("END_EXCLUDE_LIST", "exclude"),
+        "BEGIN_INCLUDE_LIST": ("END_INCLUDE_LIST", "include"),
+        "BEGIN_FILE_INCLUDE_LIST": ("END_FILE_INCLUDE_LIST", "file_include"),
+        "BEGIN_FILE_EXCLUDE_LIST": ("END_FILE_EXCLUDE_LIST", "file_exclude"),
+    }
+
+    @classmethod
+    def parse(cls, text: str) -> "SelectiveRules":
+        rules = cls()
+        current_end: str | None = None
+        current_attr: str | None = None
+        for line_no, raw in enumerate(text.splitlines(), start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#") and " " in line:
+                continue  # comment line
+            if current_end is None:
+                section = cls._SECTIONS.get(line)
+                if section is None:
+                    raise ValueError(
+                        f"select file line {line_no}: expected a BEGIN_* section, got {line!r}"
+                    )
+                current_end, current_attr = section
+                continue
+            if line == current_end:
+                current_end = current_attr = None
+                continue
+            getattr(rules, current_attr).append(line)
+        if current_end is not None:
+            raise ValueError(f"select file: missing {current_end}")
+        return rules
+
+    # -- matching -----------------------------------------------------------
+
+    @staticmethod
+    def _name_matches(pattern: str, name: str) -> bool:
+        """TAU name patterns: ``#`` is a multi-character wildcard."""
+        rx = "".join(".*" if ch == "#" else re.escape(ch) for ch in pattern)
+        return re.fullmatch(rx, name) is not None
+
+    def allows_file(self, file_name: str) -> bool:
+        base = file_name.rsplit("/", 1)[-1]
+        if self.file_include:
+            if not any(
+                fnmatch.fnmatch(file_name, p) or fnmatch.fnmatch(base, p)
+                for p in self.file_include
+            ):
+                return False
+        return not any(
+            fnmatch.fnmatch(file_name, p) or fnmatch.fnmatch(base, p)
+            for p in self.file_exclude
+        )
+
+    def allows_routine(self, timer_name: str) -> bool:
+        if self.include:
+            if not any(self._name_matches(p, timer_name) for p in self.include):
+                return False
+        return not any(self._name_matches(p, timer_name) for p in self.exclude)
+
+    def apply(self, points: list[InstrumentationPoint]) -> list[InstrumentationPoint]:
+        """Filter an instrumentation-point list through the rules."""
+        out = []
+        for p in points:
+            if not self.allows_file(p.file_name):
+                continue
+            if not self.allows_routine(p.timer_name()):
+                continue
+            out.append(p)
+        return out
+
+
+def throttle(
+    stats: dict,
+    calls_threshold: int = 100_000,
+    percall_threshold_usec: float = 10.0,
+) -> tuple[dict, list[str]]:
+    """TAU's runtime throttling rule (TAU_THROTTLE), applied post hoc:
+    timers with more than ``calls_threshold`` calls *and* less than
+    ``percall_threshold_usec`` inclusive time per call are dropped from
+    the profile (their time stays in their parents' exclusive, which is
+    where the runtime would have left it).
+
+    Returns (kept timers, names of throttled timers)."""
+    kept: dict = {}
+    throttled: list[str] = []
+    for name, t in stats.items():
+        if t.calls > calls_threshold and t.inclusive_per_call < percall_threshold_usec:
+            throttled.append(name)
+        else:
+            kept[name] = t
+    return kept, throttled

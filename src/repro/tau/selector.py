@@ -1,0 +1,148 @@
+"""Instrumentation selection — the logic of paper Figure 6.
+
+"For each template, TAU determines if the given routine belongs to a
+class and that it is not a static member function.  If these conditions
+are satisfied, then TAU inserts CT(*this), which returns the type of the
+object with which the member function is associated.  The unique
+instantiation of the class can therefore be incorporated in the name of
+an instantiated template."
+
+:func:`select_instrumentation` ports the Figure 6 loop: iterate the PDB
+template vector, filter to function-kind templates, and decide the
+``CT(*this)`` question by template kind — TE_MEMFUNC gets run-time type
+info, TE_FUNC and TE_STATMEM do not.  Plain (non-template) routines are
+instrumented with static names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.ductape.items import PdbRoutine, PdbTemplate
+from repro.ductape.pdb import PDB
+
+
+@dataclass
+class InstrumentationPoint:
+    """One entity to instrument (the paper's ``itemRef``).
+
+    A point targets one *source location* — a template definition or a
+    routine body.  Members of class templates share one point per source
+    location across all instantiations; ``CT(*this)`` makes the run-time
+    timer names unique per instantiation (paper Section 4.1)."""
+
+    item: Union[PdbTemplate, PdbRoutine]
+    #: True when the timer name is complete at instrumentation time;
+    #: False when CT(*this) must supply the instantiation type at run time
+    static_name: bool
+    file_name: str
+    line: int
+    column: int
+    name_override: Optional[str] = None
+
+    @property
+    def needs_ct(self) -> bool:
+        return not self.static_name
+
+    def timer_name(self) -> str:
+        """The static part of the TAU_PROFILE name argument."""
+        if self.name_override is not None:
+            return self.name_override
+        item = self.item
+        if isinstance(item, PdbRoutine):
+            sig = item.signature()
+            sig_text = sig.name() if sig is not None else "()"
+            return f"{item.fullName()} {sig_text}"
+        return f"{item.fullName()}()"
+
+    def type_argument(self) -> str:
+        """The TAU_PROFILE type argument: CT(*this) for member-function
+        templates, an empty string otherwise (paper Section 4.1)."""
+        return "CT(*this)" if self.needs_ct else '" "'
+
+
+def select_instrumentation(
+    pdb: PDB, file: Optional[str] = None, include_plain_routines: bool = True
+) -> list[InstrumentationPoint]:
+    """Port of the Figure 6 selection loop, extended with plain routines.
+
+    ``file`` restricts selection to templates/routines defined in that
+    source file (the instrumentor rewrites one file at a time)."""
+    itemvec: list[InstrumentationPoint] = []
+    seen: set[tuple[str, int, int]] = set()
+    # Get the list of templates.
+    u = pdb.getTemplateVec()
+    for te in u:  # (1) iterate over all templates
+        loc = te.location()
+        if not loc.known:
+            continue
+        if file is not None and loc.file().name() != file:
+            continue
+        tekind = te.kind()
+        if tekind in (  # (2) filter out non-function templates
+            PdbTemplate.TE_MEMFUNC,
+            PdbTemplate.TE_STATMEM,
+            PdbTemplate.TE_FUNC,
+        ):
+            # The target helps identify if we need to put CT(*this) in
+            # the type.
+            if tekind in (PdbTemplate.TE_FUNC, PdbTemplate.TE_STATMEM):  # (3)
+                # There's no parent class (or it is static): no CT(*this).
+                p = _point(te, static_name=True)
+            else:
+                # It is a member function, so add CT(*this).
+                p = _point(te, static_name=False)
+            itemvec.append(p)
+            seen.add((p.file_name, p.line, p.column))
+    if include_plain_routines:
+        for r in pdb.getRoutineVec():
+            loc = r.location()
+            if not loc.known:
+                continue
+            if file is not None and loc.file().name() != file:
+                continue
+            if not _has_body(r):
+                continue
+            key = (loc.file().name(), loc.line(), loc.col())
+            if key in seen:
+                continue  # this source location already has a macro
+            te = r.template()
+            if te is not None and te.kind() == PdbTemplate.TE_CLASS:
+                # member function defined inside a class template body:
+                # one macro in the template text, CT(*this) for names
+                p = _point(
+                    r, static_name=False, name_override=_static_member_name(r)
+                )
+            elif te is not None:
+                continue  # covered by the function-template points above
+            else:
+                p = _point(r, static_name=True)
+            itemvec.append(p)
+            seen.add(key)
+    itemvec.sort(key=lambda p: (p.file_name, p.line, p.column))  # locCmp
+    return itemvec
+
+
+def _static_member_name(r: PdbRoutine) -> str:
+    """The instantiation-independent part of a class-template member's
+    timer name: ``vector<int>::vector<int>`` -> ``vector::vector()``."""
+    parent = r.parentClass()
+    cls = parent.name().split("<")[0] if parent is not None else "?"
+    return f"{cls}::{r.name().split('<')[0]}()"
+
+
+def _point(item, static_name: bool, name_override: Optional[str] = None) -> InstrumentationPoint:
+    loc = item.location()
+    return InstrumentationPoint(
+        item=item,
+        static_name=static_name,
+        file_name=loc.file().name(),
+        line=loc.line(),
+        column=loc.col(),
+        name_override=name_override,
+    )
+
+
+def _has_body(r: PdbRoutine) -> bool:
+    return r.bodyBegin().known

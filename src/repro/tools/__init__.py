@@ -1,0 +1,36 @@
+"""PDT static analysis utilities (paper Table 2).
+
+========  ====================================================================
+pdbconv   converts files in the compact PDB format into a more readable
+          format (and validates them)
+pdbhtml   automatically creates web-based documentation that enables
+          navigation of code via HTML links
+pdbmerge  merges PDB files from separate compilations into one PDB file,
+          eliminating duplicate template instantiations in the process
+pdbtree   displays file inclusion, class hierarchy, and call graph trees
+========  ====================================================================
+
+Plus ``cxxparse``, the front-end driver (source files -> PDB), which in
+the real PDT distribution is the EDG front end + IL Analyzer pipeline.
+Each module exposes both a library function and a CLI ``main()``.
+"""
+
+from repro.tools.pdbconv import convert_pdb
+from repro.tools.pdbhtml import generate_html
+from repro.tools.pdbmerge import merge_pdbs
+from repro.tools.pdbtree import (
+    print_func_tree,
+    render_call_tree,
+    render_class_tree,
+    render_inclusion_tree,
+)
+
+__all__ = [
+    "convert_pdb",
+    "generate_html",
+    "merge_pdbs",
+    "print_func_tree",
+    "render_call_tree",
+    "render_class_tree",
+    "render_inclusion_tree",
+]

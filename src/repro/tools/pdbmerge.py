@@ -1,0 +1,49 @@
+"""pdbmerge — merge PDB files from separate compilations into one,
+eliminating duplicate template instantiations in the process (paper
+Table 2)."""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro.ductape.pdb import PDB, MergeStats
+
+
+def merge_pdbs(pdbs: list[PDB]) -> tuple[PDB, list[MergeStats]]:
+    """Fold a list of PDBs left-to-right into one merged PDB."""
+    if not pdbs:
+        return PDB(), []
+    base = pdbs[0]
+    stats: list[MergeStats] = []
+    for other in pdbs[1:]:
+        stats.append(base.merge(other))
+    return base, stats
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point."""
+    ap = argparse.ArgumentParser(
+        prog="pdbmerge",
+        description="merge PDB files, eliminating duplicate template instantiations",
+    )
+    ap.add_argument("inputs", nargs="+", help="PDB files to merge")
+    ap.add_argument("-o", "--output", required=True, help="merged output PDB")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args(argv)
+    pdbs = [PDB.read(p) for p in args.inputs]
+    merged, stats = merge_pdbs(pdbs)
+    merged.write(args.output)
+    if args.verbose:
+        for path, st in zip(args.inputs[1:], stats):
+            print(
+                f"{path}: {st.items_in} items in, {st.items_added} added, "
+                f"{st.duplicates_eliminated} duplicates eliminated "
+                f"({st.duplicate_instantiations} template instantiations)"
+            )
+    print(f"{args.output}: {len(merged.items())} items")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

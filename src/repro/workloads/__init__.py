@@ -1,0 +1,16 @@
+"""Corpora: C++ source the front end compiles in tests and benches.
+
+* :mod:`repro.workloads.stl` — mini-STL headers (the paper's KAI 3.4c
+  standard library substitute),
+* :mod:`repro.workloads.stack` — the templated Stack code of paper
+  Figure 1, in the paper's file layout (header includes implementation),
+* :mod:`repro.workloads.pooma` — a template-heavy mini-POOMA framework
+  with Krylov solvers (the paper's Figure 7 application),
+* :mod:`repro.workloads.synth` — synthetic corpus generator for scaling
+  benches.
+"""
+
+from repro.workloads.stack import stack_files, stack_frontend
+from repro.workloads.stl import KAI_INCLUDE_DIR, stl_files
+
+__all__ = ["KAI_INCLUDE_DIR", "stl_files", "stack_files", "stack_frontend"]

@@ -1,0 +1,173 @@
+"""Java corpus: an N-body particle simulation.
+
+Exercises the Java front end's construct coverage: two packages, an
+interface with implementations (dynamic dispatch), inheritance, static
+and instance methods, constructors, fields, arrays, and cross-package
+calls."""
+
+from __future__ import annotations
+
+from repro.java.frontend import JavaFrontend
+
+VECTOR3_JAVA = """\
+package math;
+
+public class Vector3 {
+    public double x;
+    public double y;
+    public double z;
+
+    public Vector3(double x, double y, double z) {
+        this.x = x;
+        this.y = y;
+        this.z = z;
+    }
+
+    public Vector3 add(Vector3 other) {
+        return new Vector3(x + other.x, y + other.y, z + other.z);
+    }
+
+    public Vector3 scale(double factor) {
+        return new Vector3(x * factor, y * factor, z * factor);
+    }
+
+    public double norm() {
+        return dot(this);
+    }
+
+    public double dot(Vector3 other) {
+        return x * other.x + y * other.y + z * other.z;
+    }
+
+    public static Vector3 zero() {
+        return new Vector3(0.0, 0.0, 0.0);
+    }
+}
+"""
+
+FORCE_JAVA = """\
+package sim;
+
+public interface Force {
+    math.Vector3 apply(Body a, Body b);
+    double cutoff();
+}
+"""
+
+GRAVITY_JAVA = """\
+package sim;
+
+public class Gravity implements Force {
+    private double constant;
+
+    public Gravity(double constant) {
+        this.constant = constant;
+    }
+
+    public math.Vector3 apply(Body a, Body b) {
+        Vector3 delta = b.position().add(a.position().scale(-1.0));
+        double r2 = delta.dot(delta);
+        return delta.scale(constant / r2);
+    }
+
+    public double cutoff() {
+        return 0.0;
+    }
+}
+"""
+
+BODY_JAVA = """\
+package sim;
+
+public class Body {
+    private Vector3 pos;
+    private Vector3 vel;
+    protected double mass;
+
+    public Body(double mass) {
+        this.mass = mass;
+        this.pos = Vector3.zero();
+        this.vel = Vector3.zero();
+    }
+
+    public Vector3 position() {
+        return pos;
+    }
+
+    public void kick(Vector3 force, double dt) {
+        Vector3 accel = force.scale(1.0 / mass);
+        vel = vel.add(accel.scale(dt));
+    }
+
+    public void drift(double dt) {
+        pos = pos.add(vel.scale(dt));
+    }
+}
+"""
+
+STAR_JAVA = """\
+package sim;
+
+public class Star extends Body {
+    public Star(double mass) {
+        super(mass);
+    }
+
+    public double luminosity() {
+        return mass * 3.8;
+    }
+}
+"""
+
+SIMULATION_JAVA = """\
+package sim;
+
+public class Simulation {
+    private Body[] bodies;
+    private Force force;
+    private int steps;
+
+    public Simulation(int n, Force f) {
+        this.force = f;
+        this.steps = 0;
+    }
+
+    public void step(double dt) {
+        Body a = bodies[0];
+        Body b = bodies[1];
+        Vector3 f = force.apply(a, b);
+        a.kick(f, dt);
+        a.drift(dt);
+        steps = steps + 1;
+    }
+
+    public static void main(String[] args) {
+        Gravity g = new Gravity(6.67e-11);
+        Simulation sim = new Simulation(64, g);
+        int i = 0;
+        while (i < 100) {
+            sim.step(0.01);
+            i = i + 1;
+        }
+    }
+}
+"""
+
+
+def java_files() -> dict[str, str]:
+    """The Java N-body corpus, keyed by file name."""
+    return {
+        "math/Vector3.java": VECTOR3_JAVA,
+        "sim/Force.java": FORCE_JAVA,
+        "sim/Gravity.java": GRAVITY_JAVA,
+        "sim/Body.java": BODY_JAVA,
+        "sim/Star.java": STAR_JAVA,
+        "sim/Simulation.java": SIMULATION_JAVA,
+    }
+
+
+def compile_nbody():
+    """Compile the N-body corpus; returns the ILTree."""
+    fe = JavaFrontend()
+    fe.register_files(java_files())
+    return fe.compile(sorted(java_files()))

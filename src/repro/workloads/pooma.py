@@ -1,0 +1,412 @@
+"""Mini-POOMA: a template-heavy framework with Krylov solvers.
+
+POOMA (Parallel Object-Oriented Methods and Applications) is the LANL
+framework the paper's Figure 7 profiles: "POOMA uses templates
+extensively to provide array-related algorithms and manage allocation of
+system and network resources."  This corpus reproduces the properties
+that made POOMA the stress test for PDT:
+
+* class templates with multiple parameters, including parameters that
+  are themselves instantiations
+  (``CGSolver<double, StencilMatrix<double>, DiagonalPreconditioner<double>>``),
+* an expression-template layer (``AddExpr``/``ScaleExpr``) producing
+  nested instantiations,
+* free function templates with argument deduction (``dot``, ``axpy``),
+* everything inside a namespace (``pooma``).
+
+``KrylovApp.cpp`` runs conjugate-gradient and BiCGSTAB solves; the TAU
+bench (E6) instruments it and simulates a solve whose profile shape —
+matvec-dominated, per-instantiation timer names — is the Figure 7
+reproduction target.
+"""
+
+from __future__ import annotations
+
+from repro.cpp import Frontend, FrontendOptions
+from repro.cpp.instantiate import InstantiationMode
+from repro.workloads.stl import KAI_INCLUDE_DIR, stl_files
+
+VECTOR_H = """\
+#ifndef POOMA_VECTOR_H
+#define POOMA_VECTOR_H
+
+namespace pooma {
+
+template <class T>
+class Vector {
+public:
+    Vector( ) : data_( 0 ), size_( 0 ) { }
+    explicit Vector( int n ) : data_( new T[ n ] ), size_( n ) { }
+    ~Vector( ) { delete [] data_; }
+
+    int size( ) const { return size_; }
+
+    T & operator()( int i ) { return data_[ i ]; }
+    const T & operator()( int i ) const { return data_[ i ]; }
+
+    void fill( const T & value ) {
+        for ( int i = 0; i < size_; i++ )
+            data_[ i ] = value;
+    }
+
+private:
+    T * data_;
+    int size_;
+};
+
+template <class T>
+T dot( const Vector<T> & a, const Vector<T> & b ) {
+    T sum = 0;
+    for ( int i = 0; i < a.size( ); i++ )
+        sum = sum + a( i ) * b( i );
+    return sum;
+}
+
+template <class T>
+void axpy( T alpha, const Vector<T> & x, Vector<T> & y ) {
+    for ( int i = 0; i < y.size( ); i++ )
+        y( i ) = y( i ) + alpha * x( i );
+}
+
+template <class T>
+void xpay( const Vector<T> & x, T beta, Vector<T> & y ) {
+    for ( int i = 0; i < y.size( ); i++ )
+        y( i ) = x( i ) + beta * y( i );
+}
+
+template <class T>
+void copy( const Vector<T> & src, Vector<T> & dst ) {
+    for ( int i = 0; i < dst.size( ); i++ )
+        dst( i ) = src( i );
+}
+
+template <class T>
+void scale( T alpha, Vector<T> & x ) {
+    for ( int i = 0; i < x.size( ); i++ )
+        x( i ) = alpha * x( i );
+}
+
+double sqroot( double x ) {
+    double guess = x;
+    for ( int i = 0; i < 20; i++ )
+        guess = 0.5 * ( guess + x / guess );
+    return guess;
+}
+
+template <class T>
+double norm2( const Vector<T> & x ) {
+    return sqroot( dot( x, x ) );
+}
+
+}
+
+#endif
+"""
+
+EXPRESSION_H = """\
+#ifndef POOMA_EXPRESSION_H
+#define POOMA_EXPRESSION_H
+
+#include "Vector.h"
+
+namespace pooma {
+
+template <class L, class R>
+class AddExpr {
+public:
+    AddExpr( const L & l, const R & r ) : left_( l ), right_( r ) { }
+    double eval( int i ) const { return left_.eval( i ) + right_.eval( i ); }
+    int size( ) const { return left_.size( ); }
+private:
+    const L & left_;
+    const R & right_;
+};
+
+template <class E>
+class ScaleExpr {
+public:
+    ScaleExpr( double alpha, const E & e ) : alpha_( alpha ), expr_( e ) { }
+    double eval( int i ) const { return alpha_ * expr_.eval( i ); }
+    int size( ) const { return expr_.size( ); }
+private:
+    double alpha_;
+    const E & expr_;
+};
+
+class VectorView {
+public:
+    explicit VectorView( const Vector<double> & v ) : vec_( v ) { }
+    double eval( int i ) const { return vec_( i ); }
+    int size( ) const { return vec_.size( ); }
+private:
+    const Vector<double> & vec_;
+};
+
+template <class L, class R>
+AddExpr<L, R> add( const L & l, const R & r ) {
+    return AddExpr<L, R>( l, r );
+}
+
+template <class E>
+ScaleExpr<E> scaled( double alpha, const E & e ) {
+    return ScaleExpr<E>( alpha, e );
+}
+
+template <class E>
+void assign( Vector<double> & dst, const E & expr ) {
+    for ( int i = 0; i < expr.size( ); i++ )
+        dst( i ) = expr.eval( i );
+}
+
+}
+
+#endif
+"""
+
+STENCIL_H = """\
+#ifndef POOMA_STENCIL_H
+#define POOMA_STENCIL_H
+
+#include "Vector.h"
+
+namespace pooma {
+
+template <class T>
+class StencilMatrix {
+public:
+    explicit StencilMatrix( int n ) : n_( n ) { }
+
+    int size( ) const { return n_ * n_; }
+
+    void apply( const Vector<T> & x, Vector<T> & y ) const {
+        int n = n_;
+        for ( int row = 0; row < n; row++ ) {
+            for ( int col = 0; col < n; col++ ) {
+                int i = row * n + col;
+                T v = 4 * x( i );
+                if ( col > 0 )
+                    v = v - x( i - 1 );
+                if ( col < n - 1 )
+                    v = v - x( i + 1 );
+                if ( row > 0 )
+                    v = v - x( i - n );
+                if ( row < n - 1 )
+                    v = v - x( i + n );
+                y( i ) = v;
+            }
+        }
+    }
+
+    T diagonal( int i ) const { return 4; }
+
+private:
+    int n_;
+};
+
+template <class T>
+class DiagonalPreconditioner {
+public:
+    explicit DiagonalPreconditioner( const StencilMatrix<T> & A ) : size_( A.size( ) ) { }
+
+    void apply( const Vector<T> & r, Vector<T> & z ) const {
+        for ( int i = 0; i < size_; i++ )
+            z( i ) = r( i ) / 4;
+    }
+
+private:
+    int size_;
+};
+
+}
+
+#endif
+"""
+
+KRYLOV_H = """\
+#ifndef POOMA_KRYLOV_H
+#define POOMA_KRYLOV_H
+
+#include "Vector.h"
+#include "Stencil.h"
+
+namespace pooma {
+
+template <class T, class Matrix, class Precond>
+class CGSolver {
+public:
+    CGSolver( int max_iterations, double tolerance )
+        : max_iterations_( max_iterations ), tolerance_( tolerance ), iterations_( 0 ) { }
+
+    int iterations( ) const { return iterations_; }
+
+    int solve( const Matrix & A, Vector<T> & x, const Vector<T> & b, const Precond & M ) {
+        int n = A.size( );
+        Vector<T> r( n );
+        Vector<T> z( n );
+        Vector<T> p( n );
+        Vector<T> q( n );
+        A.apply( x, r );
+        for ( int i = 0; i < n; i++ )
+            r( i ) = b( i ) - r( i );
+        M.apply( r, z );
+        copy( z, p );
+        T rho = dot( r, z );
+        for ( iterations_ = 0; iterations_ < max_iterations_; iterations_++ ) {
+            A.apply( p, q );
+            T alpha = rho / dot( p, q );
+            axpy( alpha, p, x );
+            axpy( -alpha, q, r );
+            if ( norm2( r ) < tolerance_ )
+                break;
+            M.apply( r, z );
+            T rho_new = dot( r, z );
+            T beta = rho_new / rho;
+            xpay( z, beta, p );
+            rho = rho_new;
+        }
+        return iterations_;
+    }
+
+private:
+    int max_iterations_;
+    double tolerance_;
+    int iterations_;
+};
+
+template <class T, class Matrix, class Precond>
+class BiCGSTABSolver {
+public:
+    BiCGSTABSolver( int max_iterations, double tolerance )
+        : max_iterations_( max_iterations ), tolerance_( tolerance ), iterations_( 0 ) { }
+
+    int iterations( ) const { return iterations_; }
+
+    int solve( const Matrix & A, Vector<T> & x, const Vector<T> & b, const Precond & M ) {
+        int n = A.size( );
+        Vector<T> r( n );
+        Vector<T> rhat( n );
+        Vector<T> p( n );
+        Vector<T> v( n );
+        Vector<T> s( n );
+        Vector<T> t( n );
+        A.apply( x, r );
+        for ( int i = 0; i < n; i++ )
+            r( i ) = b( i ) - r( i );
+        copy( r, rhat );
+        copy( r, p );
+        T rho = dot( rhat, r );
+        for ( iterations_ = 0; iterations_ < max_iterations_; iterations_++ ) {
+            A.apply( p, v );
+            T alpha = rho / dot( rhat, v );
+            copy( r, s );
+            axpy( -alpha, v, s );
+            if ( norm2( s ) < tolerance_ ) {
+                axpy( alpha, p, x );
+                break;
+            }
+            A.apply( s, t );
+            T omega = dot( t, s ) / dot( t, t );
+            axpy( alpha, p, x );
+            axpy( omega, s, x );
+            copy( s, r );
+            axpy( -omega, t, r );
+            T rho_new = dot( rhat, r );
+            T beta = ( rho_new / rho ) * ( alpha / omega );
+            xpay( r, beta, p );
+            axpy( -beta * omega, v, p );
+            rho = rho_new;
+        }
+        return iterations_;
+    }
+
+private:
+    int max_iterations_;
+    double tolerance_;
+    int iterations_;
+};
+
+}
+
+#endif
+"""
+
+KRYLOV_APP_CPP = """\
+#include "Krylov.h"
+#include "Expression.h"
+#include <iostream.h>
+
+using namespace pooma;
+
+int run_cg( int grid ) {
+    StencilMatrix<double> A( grid );
+    DiagonalPreconditioner<double> M( A );
+    int n = A.size( );
+    Vector<double> x( n );
+    Vector<double> b( n );
+    x.fill( 0.0 );
+    b.fill( 1.0 );
+    CGSolver<double, StencilMatrix<double>, DiagonalPreconditioner<double> > solver( 100, 1.0e-8 );
+    return solver.solve( A, x, b, M );
+}
+
+int run_bicgstab( int grid ) {
+    StencilMatrix<double> A( grid );
+    DiagonalPreconditioner<double> M( A );
+    int n = A.size( );
+    Vector<double> x( n );
+    Vector<double> b( n );
+    x.fill( 0.0 );
+    b.fill( 1.0 );
+    BiCGSTABSolver<double, StencilMatrix<double>, DiagonalPreconditioner<double> > solver( 100, 1.0e-8 );
+    return solver.solve( A, x, b, M );
+}
+
+double run_expressions( int n ) {
+    Vector<double> u( n );
+    Vector<double> w( n );
+    Vector<double> out( n );
+    u.fill( 1.0 );
+    w.fill( 2.0 );
+    VectorView uv( u );
+    VectorView wv( w );
+    assign( out, add( uv, scaled( 0.5, wv ) ) );
+    return out( 0 );
+}
+
+int main( ) {
+    int cg_iters = run_cg( 32 );
+    int bi_iters = run_bicgstab( 32 );
+    double check = run_expressions( 1024 );
+    cout << cg_iters << endl;
+    cout << bi_iters << endl;
+    cout << check << endl;
+    return 0;
+}
+"""
+
+
+def pooma_files() -> dict[str, str]:
+    """The mini-POOMA corpus plus the mini-STL it includes."""
+    files = dict(stl_files())
+    files["Vector.h"] = VECTOR_H
+    files["Expression.h"] = EXPRESSION_H
+    files["Stencil.h"] = STENCIL_H
+    files["Krylov.h"] = KRYLOV_H
+    files["KrylovApp.cpp"] = KRYLOV_APP_CPP
+    return files
+
+
+def pooma_frontend(
+    mode: InstantiationMode = InstantiationMode.USED,
+) -> Frontend:
+    """A frontend pre-loaded with the mini-POOMA corpus."""
+    fe = Frontend(
+        FrontendOptions(include_paths=[KAI_INCLUDE_DIR], instantiation_mode=mode)
+    )
+    fe.register_files(pooma_files())
+    return fe
+
+
+def compile_pooma(mode: InstantiationMode = InstantiationMode.USED):
+    """Compile KrylovApp.cpp; returns the ILTree."""
+    return pooma_frontend(mode).compile("KrylovApp.cpp")

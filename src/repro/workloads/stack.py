@@ -1,0 +1,173 @@
+"""The templated Stack corpus — paper Figure 1, in the paper's layout.
+
+Three files, matching the PDB excerpt of paper Figure 3:
+
+* ``StackAr.h`` — the class template ``Stack``; includes
+  ``<vector.h>`` (the KAI header), ``dsexceptions.h``, and — the
+  idiom the paper's caption points out — ``StackAr.cpp`` at the end,
+  "so that templates are instantiated in the PDB file",
+* ``StackAr.cpp`` — the out-of-line member function templates,
+* ``TestStackAr.cpp`` — ``main``, which instantiates ``Stack<int>``
+  and uses push / isEmpty / topAndPop (leaving top / pop / makeEmpty
+  unused, which used-mode must *not* instantiate).
+"""
+
+from __future__ import annotations
+
+from repro.cpp import Frontend, FrontendOptions
+from repro.cpp.instantiate import InstantiationMode
+from repro.workloads.stl import KAI_INCLUDE_DIR, stl_files
+
+DSEXCEPTIONS_H = """\
+#ifndef DSEXCEPTIONS_H
+#define DSEXCEPTIONS_H
+
+class Overflow {
+public:
+    Overflow( ) { }
+};
+
+class Underflow {
+public:
+    Underflow( ) { }
+};
+
+class OutOfMemory {
+public:
+    OutOfMemory( ) { }
+};
+
+class BadIterator {
+public:
+    BadIterator( ) { }
+};
+
+#endif
+"""
+
+STACKAR_H = """\
+#ifndef STACKAR_H
+#define STACKAR_H
+
+#include <vector.h>
+#include "dsexceptions.h"
+
+template <class Object>
+class Stack {
+public:
+    explicit Stack( int capacity = 10 );
+
+    bool isEmpty( ) const;
+    bool isFull( ) const;
+    const Object & top( ) const;
+
+    void makeEmpty( );
+    void pop( );
+    void push( const Object & x );
+    Object topAndPop( );
+
+private:
+    vector<Object> theArray;
+    int topOfStack;
+};
+
+#include "StackAr.cpp"
+#endif
+"""
+
+STACKAR_CPP = """\
+template <class Object>
+Stack<Object>::Stack( int capacity ) : theArray( capacity ), topOfStack( -1 ) {
+}
+
+template <class Object>
+bool Stack<Object>::isEmpty( ) const {
+    return topOfStack == -1;
+}
+
+template <class Object>
+bool Stack<Object>::isFull( ) const {
+    return topOfStack == theArray.size( ) - 1;
+}
+
+template <class Object>
+void Stack<Object>::makeEmpty( ) {
+    topOfStack = -1;
+}
+
+template <class Object>
+const Object & Stack<Object>::top( ) const {
+    if( isEmpty( ) )
+        throw Underflow( );
+    return theArray[ topOfStack ];
+}
+
+template <class Object>
+void Stack<Object>::pop( ) {
+    if( isEmpty( ) )
+        throw Underflow( );
+    topOfStack--;
+}
+
+template <class Object>
+void Stack<Object>::push( const Object & x ) {
+    if( isFull( ) )
+        throw Overflow( );
+    theArray[ ++topOfStack ] = x;
+}
+
+template <class Object>
+Object Stack<Object>::topAndPop( ) {
+    if( isEmpty( ) )
+        throw Underflow( );
+    return theArray[ topOfStack-- ];
+}
+"""
+
+TESTSTACKAR_CPP = """\
+#include "StackAr.h"
+#include <iostream.h>
+
+int main( ) {
+    Stack<int> s;
+
+    for( int i = 0; i < 10; i++ )
+        s.push( i );
+
+    while( !s.isEmpty( ) )
+        cout << s.topAndPop( ) << endl;
+
+    return 0;
+}
+"""
+
+#: Stack members main() uses (bodies must be instantiated in USED mode)
+USED_MEMBERS = ("Stack<int>", "push", "isEmpty", "isFull", "topAndPop")
+#: Stack members main() never touches (must stay uninstantiated)
+UNUSED_MEMBERS = ("top", "pop", "makeEmpty")
+
+
+def stack_files() -> dict[str, str]:
+    """The Stack corpus plus the mini-STL it includes."""
+    files = dict(stl_files())
+    files["dsexceptions.h"] = DSEXCEPTIONS_H
+    files["StackAr.h"] = STACKAR_H
+    files["StackAr.cpp"] = STACKAR_CPP
+    files["TestStackAr.cpp"] = TESTSTACKAR_CPP
+    return files
+
+
+def stack_frontend(
+    mode: InstantiationMode = InstantiationMode.USED,
+) -> Frontend:
+    """A frontend pre-loaded with the Stack corpus."""
+    fe = Frontend(
+        FrontendOptions(include_paths=[KAI_INCLUDE_DIR], instantiation_mode=mode)
+    )
+    fe.register_files(stack_files())
+    return fe
+
+
+def compile_stack(mode: InstantiationMode = InstantiationMode.USED):
+    """Compile TestStackAr.cpp; returns the ILTree."""
+    return stack_frontend(mode).compile("TestStackAr.cpp")

@@ -1,0 +1,317 @@
+"""Mini-STL headers — the KAI 3.4c standard library substitute.
+
+Paper Section 6 credits "the inclusion of KAI's 3.4c standard library
+header files" with improving PDT's parsing robustness; these headers play
+that role here.  They are written in the front end's supported C++
+subset, pre-std style (global namespace, ``<vector.h>`` spellings), which
+matches both the era and paper Figure 3's ``/pdt/include/kai/vector.h``.
+
+All container members carry real inline bodies so used-mode member-body
+instantiation has something to chew on.
+"""
+
+from __future__ import annotations
+
+#: where the headers pretend to live (paper Figure 3 shows this path)
+KAI_INCLUDE_DIR = "/pdt/include/kai"
+
+VECTOR_H = """\
+#ifndef KAI_VECTOR_H
+#define KAI_VECTOR_H
+
+template <class T>
+class vector {
+public:
+    typedef T* iterator;
+    typedef const T* const_iterator;
+
+    vector( ) : data_( 0 ), size_( 0 ), capacity_( 0 ) { }
+    explicit vector( unsigned long n ) : data_( new T[ n ] ), size_( n ), capacity_( n ) { }
+    ~vector( ) { delete [] data_; }
+
+    unsigned long size( ) const { return size_; }
+    unsigned long capacity( ) const { return capacity_; }
+    bool empty( ) const { return size_ == 0; }
+
+    T & operator[]( unsigned long i ) { return data_[ i ]; }
+    const T & operator[]( unsigned long i ) const { return data_[ i ]; }
+
+    T & front( ) { return data_[ 0 ]; }
+    T & back( ) { return data_[ size_ - 1 ]; }
+
+    iterator begin( ) { return data_; }
+    iterator end( ) { return data_ + size_; }
+
+    void push_back( const T & x ) {
+        if ( size_ == capacity_ )
+            reserve( capacity_ == 0 ? 8 : 2 * capacity_ );
+        data_[ size_++ ] = x;
+    }
+
+    void pop_back( ) { size_--; }
+    void clear( ) { size_ = 0; }
+
+    void reserve( unsigned long n ) {
+        if ( n <= capacity_ )
+            return;
+        T * fresh = new T[ n ];
+        for ( unsigned long i = 0; i < size_; i++ )
+            fresh[ i ] = data_[ i ];
+        delete [] data_;
+        data_ = fresh;
+        capacity_ = n;
+    }
+
+    void resize( unsigned long n ) {
+        reserve( n );
+        size_ = n;
+    }
+
+private:
+    T * data_;
+    unsigned long size_;
+    unsigned long capacity_;
+};
+
+#endif
+"""
+
+LIST_H = """\
+#ifndef KAI_LIST_H
+#define KAI_LIST_H
+
+template <class T>
+class list {
+public:
+    struct node {
+        T value;
+        node * next;
+        node * prev;
+    };
+
+    list( ) : head_( 0 ), tail_( 0 ), size_( 0 ) { }
+    ~list( ) { clear( ); }
+
+    unsigned long size( ) const { return size_; }
+    bool empty( ) const { return size_ == 0; }
+
+    T & front( ) { return head_->value; }
+    T & back( ) { return tail_->value; }
+
+    void push_back( const T & x ) {
+        node * n = new node;
+        n->value = x;
+        n->next = 0;
+        n->prev = tail_;
+        if ( tail_ )
+            tail_->next = n;
+        else
+            head_ = n;
+        tail_ = n;
+        size_++;
+    }
+
+    void pop_front( ) {
+        node * n = head_;
+        head_ = head_->next;
+        if ( head_ )
+            head_->prev = 0;
+        else
+            tail_ = 0;
+        delete n;
+        size_--;
+    }
+
+    void clear( ) {
+        while ( !empty( ) )
+            pop_front( );
+    }
+
+private:
+    node * head_;
+    node * tail_;
+    unsigned long size_;
+};
+
+#endif
+"""
+
+PAIR_H = """\
+#ifndef KAI_PAIR_H
+#define KAI_PAIR_H
+
+template <class A, class B>
+struct pair {
+    A first;
+    B second;
+};
+
+template <class A, class B>
+pair<A, B> make_pair( const A & a, const B & b ) {
+    pair<A, B> p;
+    p.first = a;
+    p.second = b;
+    return p;
+}
+
+#endif
+"""
+
+ALGORITHM_H = """\
+#ifndef KAI_ALGORITHM_H
+#define KAI_ALGORITHM_H
+
+template <class T>
+const T & max( const T & a, const T & b ) {
+    if ( a < b )
+        return b;
+    return a;
+}
+
+template <class T>
+const T & min( const T & a, const T & b ) {
+    if ( b < a )
+        return b;
+    return a;
+}
+
+template <class T>
+void swap( T & a, T & b ) {
+    T tmp = a;
+    a = b;
+    b = tmp;
+}
+
+#endif
+"""
+
+STRING_H = """\
+#ifndef KAI_STRING_H
+#define KAI_STRING_H
+
+class string {
+public:
+    string( ) : data_( 0 ), length_( 0 ) { }
+    string( const char * s );
+    string( const string & other );
+    ~string( );
+
+    unsigned long length( ) const { return length_; }
+    unsigned long size( ) const { return length_; }
+    bool empty( ) const { return length_ == 0; }
+    const char * c_str( ) const { return data_; }
+    char operator[]( unsigned long i ) const { return data_[ i ]; }
+
+    string & operator=( const string & other );
+    string & operator+=( const string & other );
+    bool operator==( const string & other ) const;
+    bool operator<( const string & other ) const;
+
+private:
+    void assign( const char * s, unsigned long n );
+    char * data_;
+    unsigned long length_;
+};
+
+#endif
+"""
+
+STRING_CPP = """\
+#include <string.h>
+
+static unsigned long cstr_length( const char * s ) {
+    unsigned long n = 0;
+    while ( s[ n ] != 0 )
+        n++;
+    return n;
+}
+
+string::string( const char * s ) : data_( 0 ), length_( 0 ) {
+    assign( s, cstr_length( s ) );
+}
+
+string::string( const string & other ) : data_( 0 ), length_( 0 ) {
+    assign( other.c_str( ), other.length( ) );
+}
+
+string::~string( ) {
+    delete [] data_;
+}
+
+void string::assign( const char * s, unsigned long n ) {
+    delete [] data_;
+    data_ = new char[ n + 1 ];
+    for ( unsigned long i = 0; i < n; i++ )
+        data_[ i ] = s[ i ];
+    data_[ n ] = 0;
+    length_ = n;
+}
+
+string & string::operator=( const string & other ) {
+    assign( other.c_str( ), other.length( ) );
+    return *this;
+}
+
+string & string::operator+=( const string & other ) {
+    return *this;
+}
+
+bool string::operator==( const string & other ) const {
+    if ( length_ != other.length( ) )
+        return false;
+    for ( unsigned long i = 0; i < length_; i++ ) {
+        if ( data_[ i ] != other.data_[ i ] )
+            return false;
+    }
+    return true;
+}
+
+bool string::operator<( const string & other ) const {
+    return length_ < other.length( );
+}
+"""
+
+IOSTREAM_H = """\
+#ifndef KAI_IOSTREAM_H
+#define KAI_IOSTREAM_H
+
+class ostream {
+public:
+    ostream & operator<<( bool b ) { return *this; }
+    ostream & operator<<( char c ) { return *this; }
+    ostream & operator<<( int i ) { return *this; }
+    ostream & operator<<( unsigned long u ) { return *this; }
+    ostream & operator<<( double d ) { return *this; }
+    ostream & operator<<( const char * s ) { return *this; }
+    ostream & operator<<( ostream & ( *pf )( ostream & ) );
+    void flush( ) { }
+};
+
+class istream {
+public:
+    istream & operator>>( int & i ) { return *this; }
+    istream & operator>>( double & d ) { return *this; }
+    bool good( ) const { return true; }
+};
+
+extern ostream cout;
+extern ostream cerr;
+extern istream cin;
+
+ostream & endl( ostream & os );
+ostream & flush( ostream & os );
+
+#endif
+"""
+
+
+def stl_files() -> dict[str, str]:
+    """All mini-STL headers keyed by their registered path."""
+    return {
+        f"{KAI_INCLUDE_DIR}/vector.h": VECTOR_H,
+        f"{KAI_INCLUDE_DIR}/list.h": LIST_H,
+        f"{KAI_INCLUDE_DIR}/pair.h": PAIR_H,
+        f"{KAI_INCLUDE_DIR}/algorithm.h": ALGORITHM_H,
+        f"{KAI_INCLUDE_DIR}/string.h": STRING_H,
+        f"{KAI_INCLUDE_DIR}/iostream.h": IOSTREAM_H,
+    }

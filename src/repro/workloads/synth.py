@@ -1,0 +1,154 @@
+"""Synthetic C++ corpus generator for scaling and sweep benches.
+
+Generates well-formed code in the front end's subset, parameterised by
+size and template density, with known ground truth:
+
+* ``n_plain_classes`` plain classes, each with ``methods_per_class``
+  member functions calling each other in a chain,
+* ``n_templates`` class templates, each instantiated with
+  ``instantiations_per_template`` distinct argument types from ``main``,
+* free function templates layered ``call_depth`` deep,
+* multiple translation units sharing the generated headers (for
+  pdbmerge benches).
+
+Sizes are deterministic functions of the parameters, so benches can
+assert exact entity counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SynthSpec:
+    """Corpus shape parameters."""
+
+    n_plain_classes: int = 4
+    methods_per_class: int = 4
+    n_templates: int = 2
+    instantiations_per_template: int = 2
+    call_depth: int = 3
+    n_translation_units: int = 1
+
+    #: argument types used for instantiations, cycled
+    arg_types: tuple[str, ...] = ("int", "double", "char", "long", "float")
+
+
+@dataclass
+class SynthCorpus:
+    """Generated corpus + ground truth."""
+
+    files: dict[str, str] = field(default_factory=dict)
+    main_files: list[str] = field(default_factory=list)
+    #: raw names of every routine with a definition (ground truth for E7)
+    routine_names: set[str] = field(default_factory=set)
+    expected_class_instantiations: int = 0
+    expected_plain_classes: int = 0
+    total_lines: int = 0
+
+
+def generate(spec: SynthSpec) -> SynthCorpus:
+    """Generate the corpus described by ``spec``, with ground truth."""
+    corpus = SynthCorpus()
+    header_lines: list[str] = ["#ifndef SYNTH_H", "#define SYNTH_H", ""]
+
+    # plain classes: Plain0..PlainN, chained method calls
+    for c in range(spec.n_plain_classes):
+        header_lines.append(f"class Plain{c} {{")
+        header_lines.append("public:")
+        header_lines.append(f"    Plain{c}( ) : state_( 0 ) {{ }}")
+        corpus.routine_names.add(f"Plain{c}")
+        for m in range(spec.methods_per_class):
+            name = f"method{m}"
+            corpus.routine_names.add(name)
+            if m + 1 < spec.methods_per_class:
+                body = f"return state_ + method{m + 1}( x );"
+            else:
+                body = "return state_ + x;"
+            header_lines.append(f"    int {name}( int x ) {{ {body} }}")
+        header_lines.append("private:")
+        header_lines.append("    int state_;")
+        header_lines.append("};")
+        header_lines.append("")
+    corpus.expected_plain_classes = spec.n_plain_classes
+
+    # class templates: Box0<T>..BoxN<T>
+    for t in range(spec.n_templates):
+        header_lines.append("template <class T>")
+        header_lines.append(f"class Box{t} {{")
+        header_lines.append("public:")
+        header_lines.append(f"    Box{t}( ) : value_( 0 ) {{ }}")
+        header_lines.append("    T get( ) const { return value_; }")
+        header_lines.append("    void set( const T & v ) { value_ = v; }")
+        header_lines.append("    T combine( const T & v ) { set( v ); return get( ); }")
+        header_lines.append("private:")
+        header_lines.append("    T value_;")
+        header_lines.append("};")
+        header_lines.append("")
+        corpus.routine_names.update({f"Box{t}", "get", "set", "combine"})
+
+    # function template chain: level0 .. levelD
+    for d in range(spec.call_depth):
+        corpus.routine_names.add(f"level{d}")
+        header_lines.append("template <class T>")
+        if d + 1 < spec.call_depth:
+            header_lines.append(
+                f"T level{d}( const T & x ) {{ return level{d + 1}( x ); }}"
+            )
+        else:
+            header_lines.append(f"T level{d}( const T & x ) {{ return x; }}")
+        header_lines.append("")
+    # reverse so callees are declared before callers
+    if spec.call_depth > 1:
+        chain_start = len(header_lines) - 3 * spec.call_depth
+        chain = header_lines[chain_start:]
+        groups = [chain[i : i + 3] for i in range(0, len(chain), 3)]
+        header_lines[chain_start:] = [line for g in reversed(groups) for line in g]
+
+    header_lines.append("#endif")
+    corpus.files["synth.h"] = "\n".join(header_lines)
+
+    # translation units
+    for tu in range(spec.n_translation_units):
+        lines = ['#include "synth.h"', ""]
+        entry = "main" if tu == 0 else f"tu{tu}_entry"
+        corpus.routine_names.add(entry)
+        lines.append(f"int {entry}( ) {{")
+        lines.append("    int acc = 0;")
+        for c in range(spec.n_plain_classes):
+            lines.append(f"    Plain{c} p{c};")
+            lines.append(f"    acc = acc + p{c}.method0( {c} );")
+        for t in range(spec.n_templates):
+            for i in range(spec.instantiations_per_template):
+                ty = spec.arg_types[i % len(spec.arg_types)]
+                var = f"b{t}_{i}"
+                lines.append(f"    Box{t}<{ty}> {var};")
+                lines.append(f"    {var}.combine( {i} );")
+        if spec.call_depth:
+            lines.append("    acc = acc + level0( acc );")
+        lines.append("    return acc;")
+        lines.append("}")
+        name = f"tu{tu}.cpp"
+        corpus.files[name] = "\n".join(lines)
+        corpus.main_files.append(name)
+
+    corpus.expected_class_instantiations = (
+        spec.n_templates * spec.instantiations_per_template
+    )
+    corpus.total_lines = sum(t.count("\n") + 1 for t in corpus.files.values())
+    return corpus
+
+
+def compile_synth(spec: SynthSpec, mode=None):
+    """Compile the corpus's first TU; returns (tree, corpus)."""
+    from repro.cpp import Frontend, FrontendOptions
+    from repro.cpp.instantiate import InstantiationMode
+
+    corpus = generate(spec)
+    fe = Frontend(
+        FrontendOptions(instantiation_mode=mode or InstantiationMode.USED)
+    )
+    fe.register_files(corpus.files)
+    tree = fe.compile(corpus.main_files[0])
+    return tree, corpus

@@ -1,0 +1,117 @@
+"""Sage++ baseline and synthetic corpus generator tests."""
+
+import pytest
+
+from repro.baselines.sagepp import SageExtractor, extraction_accuracy
+from repro.workloads.synth import SynthSpec, compile_synth, generate
+
+
+class TestSynthGenerator:
+    def test_deterministic(self):
+        spec = SynthSpec(n_plain_classes=3, n_templates=2)
+        assert generate(spec).files == generate(spec).files
+
+    def test_compiles(self):
+        tree, corpus = compile_synth(SynthSpec())
+        assert tree.find_routine("main") is not None
+
+    def test_expected_instantiations(self):
+        spec = SynthSpec(n_templates=3, instantiations_per_template=2)
+        tree, corpus = compile_synth(spec)
+        inst = [c for c in tree.all_classes if c.is_instantiation]
+        assert len(inst) == corpus.expected_class_instantiations
+
+    def test_plain_classes(self):
+        spec = SynthSpec(n_plain_classes=5)
+        tree, corpus = compile_synth(spec)
+        plains = [c for c in tree.all_classes if c.name.startswith("Plain")]
+        assert len(plains) == 5
+
+    def test_call_chain_depth(self):
+        tree, _ = compile_synth(SynthSpec(call_depth=4))
+        lvl0 = next(r for r in tree.all_routines if r.name == "level0" and r.is_instantiation)
+        assert any(c.callee.name == "level1" for c in lvl0.calls)
+
+    def test_multiple_tus(self):
+        spec = SynthSpec(n_translation_units=3)
+        corpus = generate(spec)
+        assert len(corpus.main_files) == 3
+
+    def test_scaling(self):
+        small = generate(SynthSpec(n_plain_classes=2)).total_lines
+        big = generate(SynthSpec(n_plain_classes=20)).total_lines
+        assert big > small * 3
+
+
+class TestSageBaseline:
+    def test_finds_plain_functions(self):
+        files = {"a.cpp": "int add(int a, int b) { return a + b; }\n"}
+        res = SageExtractor().extract(files)
+        assert "add" in res.routines
+
+    def test_finds_classes(self):
+        files = {"a.cpp": "class Widget { public: int x; };\n"}
+        res = SageExtractor().extract(files)
+        assert "Widget" in res.classes
+
+    def test_finds_member_definitions(self):
+        files = {
+            "a.cpp": "class C { public: int m(); };\nint C::m() { return 1; }\n"
+        }
+        res = SageExtractor().extract(files)
+        assert "m" in res.routines
+
+    def test_ignores_keywords(self):
+        files = {"a.cpp": "void f() { if (1) { } while (0) { } }\n"}
+        res = SageExtractor().extract(files)
+        assert "if" not in res.routines and "while" not in res.routines
+
+    def test_fails_on_templated_qualifier(self):
+        files = {
+            "a.cpp": (
+                "template <class T> class S { public: void push(const T& x); };\n"
+                "template <class T> void S<T>::push(const T& x) { }\n"
+            )
+        }
+        res = SageExtractor().extract(files)
+        assert "push" not in res.routines
+        assert res.parse_failures >= 1
+
+    def test_no_instantiations_ever(self):
+        files = {
+            "a.cpp": (
+                "template <class T> class S { public: T g() { return 0; } };\n"
+                "int main() { S<int> s; return s.g(); }\n"
+            )
+        }
+        res = SageExtractor().extract(files)
+        assert not any("<" in r for r in res.routines)
+
+    def test_accuracy_on_plain_code_is_high(self):
+        spec = SynthSpec(n_templates=0, call_depth=0, n_plain_classes=5)
+        tree, corpus = compile_synth(spec)
+        res = SageExtractor().extract(corpus.files)
+        truth = {r.name for r in tree.all_routines if r.defined}
+        acc = extraction_accuracy(res, truth)
+        assert acc.recall >= 0.9
+
+    def test_accuracy_degrades_with_templates(self):
+        """The paper's qualitative claim, quantified (bench E7)."""
+        plain_spec = SynthSpec(n_templates=0, call_depth=0, n_plain_classes=6)
+        heavy_spec = SynthSpec(n_templates=6, call_depth=6, n_plain_classes=0,
+                               instantiations_per_template=2)
+        recalls = []
+        for spec in (plain_spec, heavy_spec):
+            tree, corpus = compile_synth(spec)
+            res = SageExtractor().extract(corpus.files)
+            truth = {r.name for r in tree.all_routines if r.defined}
+            recalls.append(extraction_accuracy(res, truth).recall)
+        assert recalls[1] < recalls[0]
+
+    def test_pdt_is_complete_on_the_same_corpus(self):
+        spec = SynthSpec(n_templates=6, call_depth=6, n_plain_classes=0)
+        tree, corpus = compile_synth(spec)
+        defined = {r.name.split("<")[0] for r in tree.all_routines if r.defined}
+        expected = {n for n in corpus.routine_names}
+        # every generated routine that main exercises is present
+        assert {"get", "set", "combine", "level0"} <= defined

@@ -1,0 +1,321 @@
+"""DUCTAPE API tests: the class hierarchy of paper Figure 4, item
+accessors, PDB-level queries, and merge."""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.ductape import (
+    PDB,
+    PdbClass,
+    PdbFile,
+    PdbItem,
+    PdbMacro,
+    PdbNamespace,
+    PdbRoutine,
+    PdbSimpleItem,
+    PdbTemplate,
+    PdbTemplateItem,
+    PdbType,
+)
+from repro.ductape.items import PdbFatItem
+from tests.util import compile_source
+
+
+def pdb_for(src: str, **kw) -> PDB:
+    return PDB(analyze(compile_source(src, **kw)))
+
+
+class TestHierarchy:
+    """The DUCTAPE class hierarchy must match paper Figure 4."""
+
+    def test_root(self):
+        for cls in (PdbFile, PdbItem, PdbMacro, PdbType, PdbTemplate,
+                    PdbNamespace, PdbClass, PdbRoutine):
+            assert issubclass(cls, PdbSimpleItem)
+
+    def test_file_is_direct_child_of_simple_item(self):
+        assert PdbFile.__bases__ == (PdbSimpleItem,)
+
+    def test_item_children(self):
+        assert issubclass(PdbMacro, PdbItem)
+        assert issubclass(PdbType, PdbItem)
+        assert issubclass(PdbFatItem, PdbItem)
+
+    def test_fat_item_children(self):
+        assert issubclass(PdbTemplate, PdbFatItem)
+        assert issubclass(PdbNamespace, PdbFatItem)
+        assert issubclass(PdbTemplateItem, PdbFatItem)
+
+    def test_template_items(self):
+        assert issubclass(PdbClass, PdbTemplateItem)
+        assert issubclass(PdbRoutine, PdbTemplateItem)
+
+    def test_macro_not_fat(self):
+        assert not issubclass(PdbMacro, PdbFatItem)
+        assert not issubclass(PdbType, PdbFatItem)
+
+    def test_heterogeneous_template_item_list(self):
+        """Paper: 'list<pdbTemplateItem> can store a list of all template
+        instantiations'."""
+        pdb = pdb_for(
+            "template <class T> class B { public: T g() { return 0; } };\n"
+            "int f() { B<int> b; return b.g(); }"
+        )
+        instantiations = [
+            i for i in pdb.items()
+            if isinstance(i, PdbTemplateItem) and i.isTemplateInstantiation()
+        ]
+        kinds = {type(i).__name__ for i in instantiations}
+        assert "PdbClass" in kinds and "PdbRoutine" in kinds
+
+
+class TestVectors:
+    SRC = (
+        "#define FLAG 1\n"
+        "namespace n { enum E { A }; }\n"
+        "template <class T> class B { public: T g(); };\n"
+        "class C { public: void m(); };\n"
+        "int f() { return FLAG; }\n"
+    )
+
+    def test_all_vectors_populated(self):
+        pdb = pdb_for(self.SRC)
+        assert pdb.getFileVec()
+        assert pdb.getRoutineVec()
+        assert pdb.getClassVec()
+        assert pdb.getTypeVec()
+        assert pdb.getTemplateVec()
+        assert pdb.getNamespaceVec()
+        assert pdb.getMacroVec()
+
+    def test_items_ordering_matches_document(self):
+        pdb = pdb_for(self.SRC)
+        assert [i.raw.ref for i in pdb.items()] == [r.ref for r in pdb.doc.items]
+
+    def test_find_routine(self):
+        pdb = pdb_for(self.SRC)
+        assert pdb.findRoutine("f") is not None
+        assert pdb.findRoutine("C::m") is not None
+        assert pdb.findRoutine("nope") is None
+
+    def test_find_class(self):
+        pdb = pdb_for(self.SRC)
+        assert pdb.findClass("C") is not None
+
+
+class TestAccessors:
+    def test_routine_accessors(self):
+        pdb = pdb_for(
+            "class C { public: virtual int m(int x) const; };\n"
+            "int C::m(int x) const { return x; }\n"
+        )
+        m = pdb.findRoutine("C::m")
+        assert m.kind() == PdbRoutine.RO_MEMFUNC
+        assert m.isVirtual() and not m.isPureVirtual()
+        assert m.access() == "pub"
+        assert m.linkage() == "C++"
+        assert m.parentClass().name() == "C"
+        assert m.fullName() == "C::m"
+        assert m.signature().kind() == "func"
+        assert m.signature().isConst()
+        assert [n for _, n, _ in m.parameters()] == ["x"]
+
+    def test_routine_positions(self):
+        pdb = pdb_for("int f()\n{\n  return 1;\n}\n")
+        f = pdb.findRoutine("f")
+        assert f.bodyBegin().line() == 2
+        assert f.bodyEnd().line() == 4
+        assert f.headerBegin().line() == 1
+
+    def test_callees_and_callers(self):
+        pdb = pdb_for(
+            "int leaf() { return 1; }\nint mid() { return leaf(); }\nint top() { return mid(); }"
+        )
+        mid = pdb.findRoutine("mid")
+        assert [c.call().name() for c in mid.callees()] == ["leaf"]
+        assert [r.name() for r in mid.callers()] == ["top"]
+        leaf = pdb.findRoutine("leaf")
+        assert [r.name() for r in leaf.callers()] == ["mid"]
+
+    def test_class_accessors(self):
+        pdb = pdb_for(
+            "class A { public: virtual ~A(); };\n"
+            "class B : public A { public: void m(); private: int x; };\n"
+        )
+        b = pdb.findClass("B")
+        assert b.kind() == "class"
+        acc, virt, base = b.baseClasses()[0]
+        assert (acc, virt, base.name()) == ("pub", False, "A")
+        assert [m.name() for m in b.memberFunctions()] == ["m"]
+        member = b.dataMembers()[0]
+        assert member.name() == "x"
+        assert member.access() == "priv"
+        assert member.kind() == "var"
+        assert member.type().name() == "int"
+        a = pdb.findClass("A")
+        assert [d.name() for d in a.derivedClasses()] == ["B"]
+
+    def test_template_accessors(self):
+        pdb = pdb_for("template <class T> class B { public: T g(); };\nB<int> b;")
+        te = pdb.getTemplateVec()[0]
+        assert te.kind() == PdbTemplate.TE_CLASS
+        assert "template" in te.text()
+        cls = pdb.findClass("B<int>")
+        assert cls.template() is te
+        assert cls.isTemplateInstantiation()
+
+    def test_namespace_accessors(self):
+        pdb = pdb_for("namespace outer { namespace inner { class C {}; } }")
+        outer = next(n for n in pdb.getNamespaceVec() if n.name() == "outer")
+        inner = next(n for n in pdb.getNamespaceVec() if n.name() == "inner")
+        assert inner.parentNamespace() is outer
+        assert inner.fullName() == "outer::inner"
+        assert any(m.name() == "C" for m in inner.members())
+
+    def test_macro_accessors(self):
+        pdb = pdb_for("#define TWICE(x) ((x)+(x))\nint f() { return TWICE(2); }")
+        m = pdb.getMacroVec()[0]
+        assert m.kind() == "def"
+        assert m.name() == "TWICE"
+        assert "(x)+(x)" in m.text()
+
+    def test_type_navigation(self):
+        pdb = pdb_for("void f(const int& x);")
+        f = pdb.findRoutine("f")
+        sig = f.signature()
+        (arg,) = sig.argumentTypes()
+        assert arg.name() == "const int &"
+        assert arg.kind() == "ref"
+        assert arg.referencedType().name() == "const int"
+
+    def test_file_accessors(self):
+        pdb = PDB(
+            analyze(
+                compile_source('#include "h.h"\nint main() { return 0; }', files={"h.h": ""})
+            )
+        )
+        main = next(f for f in pdb.getFileVec() if f.name() == "main.cpp")
+        assert [f.name() for f in main.includes()] == ["h.h"]
+
+    def test_flag(self):
+        pdb = pdb_for("int f();")
+        f = pdb.findRoutine("f")
+        assert f.flag() == 0
+        f.flag(1)
+        assert f.flag() == 1
+
+
+class TestTrees:
+    def test_inclusion_tree(self):
+        pdb = PDB(
+            analyze(
+                compile_source(
+                    '#include "a.h"\nint main() { return 0; }',
+                    files={"a.h": '#include "b.h"\n', "b.h": ""},
+                )
+            )
+        )
+        tree = pdb.getInclusionTree()
+        assert [r.name() for r in tree.roots] == ["main.cpp"]
+        walk = list(tree.walk(tree.roots[0]))
+        assert [(f.name(), d) for f, d in walk] == [
+            ("main.cpp", 0), ("a.h", 1), ("b.h", 2)
+        ]
+
+    def test_call_tree_roots(self):
+        pdb = pdb_for("int leaf() { return 1; }\nint main() { return leaf(); }")
+        tree = pdb.getCallTree()
+        assert [r.name() for r in tree.roots] == ["main"]
+
+    def test_call_tree_cycle_cut(self):
+        pdb = pdb_for(
+            "int odd(int n);\n"
+            "int even(int n) { return odd(n - 1); }\n"
+            "int odd(int n) { return even(n - 1); }\n"
+            "int main() { return even(4); }\n"
+        )
+        tree = pdb.getCallTree()
+        walk = list(tree.walk(pdb.findRoutine("main")))
+        assert any(cyc for _, _, _, cyc in walk)
+        # terminates and visits both
+        names = {r.name() for r, *_ in walk}
+        assert {"main", "even", "odd"} <= names
+
+    def test_class_hierarchy(self):
+        pdb = pdb_for(
+            "class A {};\nclass B : public A {};\nclass C : public B {};\nclass D : public A {};"
+        )
+        h = pdb.getClassHierarchy()
+        a = pdb.findClass("A")
+        assert a in h.roots
+        walked = [(c.name(), d) for c, d in h.walk(a)]
+        assert ("C", 2) in walked and ("D", 1) in walked
+        assert h.depth_of(pdb.findClass("C")) == 2
+
+
+class TestMerge:
+    def make_pair(self):
+        """Two TUs sharing a header with a template, both instantiating
+        Box<int> — the paper's pdbmerge scenario."""
+        from repro.cpp import Frontend, FrontendOptions
+
+        files = {
+            "box.h": (
+                "#ifndef BOX_H\n#define BOX_H\n"
+                "template <class T> class Box { public: T g() { return 0; } };\n"
+                "#endif\n"
+            ),
+            "a.cpp": '#include "box.h"\nint fa() { Box<int> b; return b.g(); }\n',
+            "b.cpp": '#include "box.h"\nint fb() { Box<int> b; return b.g(); }\n',
+        }
+        fe = Frontend(FrontendOptions())
+        fe.register_files(files)
+        return (
+            PDB(analyze(fe.compile("a.cpp"))),
+            PDB(analyze(fe.compile("b.cpp"))),
+        )
+
+    def test_merge_dedupes_instantiations(self):
+        pa, pb = self.make_pair()
+        stats = pa.merge(pb)
+        assert stats.duplicates_eliminated > 0
+        boxes = [c for c in pa.getClassVec() if c.name() == "Box<int>"]
+        assert len(boxes) == 1
+        gs = [r for r in pa.getRoutineVec() if r.name() == "g"]
+        assert len(gs) == 1
+
+    def test_merge_keeps_distinct_entities(self):
+        pa, pb = self.make_pair()
+        pa.merge(pb)
+        names = {r.name() for r in pa.getRoutineVec()}
+        assert {"fa", "fb"} <= names
+
+    def test_merge_remaps_references(self):
+        pa, pb = self.make_pair()
+        pa.merge(pb)
+        fb = pa.findRoutine("fb")
+        callee_names = {c.call().name() for c in fb.callees() if c.call()}
+        assert "g" in callee_names or "Box<int>" in callee_names
+
+    def test_merge_idempotent(self):
+        pa, pb = self.make_pair()
+        pa.merge(pb)
+        n = len(pa.items())
+        stats2 = pa.merge(pb)
+        assert len(pa.items()) == n
+        assert stats2.items_added == 0
+
+    def test_merged_pdb_still_parses(self):
+        from repro.pdbfmt import parse_pdb
+
+        pa, pb = self.make_pair()
+        pa.merge(pb)
+        text = pa.to_text()
+        assert parse_pdb(text).items
+
+    def test_merge_no_dangling_refs(self):
+        from repro.tools.pdbconv import check_pdb
+
+        pa, pb = self.make_pair()
+        pa.merge(pb)
+        assert check_pdb(pa) == []

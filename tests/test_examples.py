@@ -1,0 +1,93 @@
+"""Every example script must run cleanly (guards against example rot)."""
+
+import importlib.util
+import io
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name: str, argv: list[str] | None = None) -> str:
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    old_argv = sys.argv
+    sys.argv = [str(path)] + (argv or [])
+    buf = io.StringIO()
+    try:
+        with redirect_stdout(buf):
+            spec.loader.exec_module(module)
+            module.main()
+    finally:
+        sys.argv = old_argv
+    return buf.getvalue()
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 6
+
+
+def test_quickstart():
+    out = run_example("quickstart")
+    assert "Circle" in out and "area" in out
+
+
+def test_stack_analysis():
+    out = run_example("stack_analysis")
+    assert "Stack<int>" in out
+    assert "instantiated" in out
+    assert "`--> Stack<int>::push" in out
+
+
+def test_krylov_profiling():
+    out = run_example("krylov_profiling")
+    assert "FUNCTION SUMMARY" in out
+    assert "StencilMatrix::apply" in out
+    assert "trace excerpt" in out
+
+
+def test_scripting_bindings():
+    out = run_example("scripting_bindings")
+    assert "registered" in out
+    assert "Histogram" in out
+    assert "template class Sampler<" in out
+
+
+def test_merge_workflow(tmp_path):
+    out = run_example("merge_workflow", [str(tmp_path)])
+    assert "duplicates eliminated" in out
+    assert "HTML pages" in out
+    assert (tmp_path / "index.html").exists()
+
+
+def test_fortran_heat():
+    out = run_example("fortran_heat")
+    assert "module grid_mod" in out
+    assert "TAU_PROFILE_TIMER" in out
+    assert "fortran" in out
+
+
+def test_java_nbody():
+    out = run_example("java_nbody")
+    assert "package" in out
+    assert "(VIRTUAL)" in out
+    assert "sim::Simulation::step" in out
+
+
+def test_cxxparse_passes_flag(tmp_path):
+    from repro.tools.cxxparse import main
+
+    src = tmp_path / "m.cpp"
+    src.write_text("#define A 1\nclass C {};\nint f() { return A; }\n")
+    out = tmp_path / "m.pdb"
+    assert main([str(src), "-o", str(out), "--passes", "so,ma"]) == 0
+    from repro.ductape.pdb import PDB
+
+    pdb = PDB.read(str(out))
+    assert pdb.getMacroVec()
+    assert not pdb.getRoutineVec()

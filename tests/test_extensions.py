@@ -1,0 +1,158 @@
+"""Tests for the extension features: parser error recovery, TAU profile
+groups, bar displays, and the f90parse CLI."""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.cpp import Frontend, FrontendOptions
+from repro.cpp.diagnostics import CppError
+from repro.ductape.pdb import PDB
+from repro.tau.machine import uniform_model
+from repro.tau.profile import format_bars
+from repro.tau.simulate import ExecutionSimulator, WorkloadSpec
+from tests.util import compile_source
+
+
+class TestErrorRecovery:
+    BROKEN = (
+        "int good_one() { return 1; }\n"
+        "int broken( { ;;; !!\n"          # unparseable declaration
+        "int good_two() { return 2; }\n"
+    )
+
+    def test_fatal_mode_raises(self):
+        with pytest.raises(CppError):
+            compile_source(self.BROKEN)
+
+    def test_recovery_mode_continues(self):
+        fe = Frontend(FrontendOptions(fatal_errors=False))
+        fe.register_files({"main.cpp": self.BROKEN})
+        tree = fe.compile("main.cpp")
+        assert tree.find_routine("good_one") is not None
+        assert tree.find_routine("good_two") is not None
+        assert fe.last_sink.error_count >= 1
+
+    def test_recovery_reports_location(self):
+        fe = Frontend(FrontendOptions(fatal_errors=False))
+        fe.register_files({"main.cpp": self.BROKEN})
+        fe.compile("main.cpp")
+        errors = [d for d in fe.last_sink.diagnostics if d.severity.name == "ERROR"]
+        assert any(d.location is not None and d.location.line == 2 for d in errors)
+
+    def test_recovery_terminates_on_garbage(self):
+        fe = Frontend(FrontendOptions(fatal_errors=False))
+        fe.register_files({"main.cpp": "((((( }}}}} class ;;; int\n" * 5})
+        tree = fe.compile("main.cpp")  # must not hang or crash
+        assert tree is not None
+
+    def test_error_cap_still_raises(self):
+        fe = Frontend(FrontendOptions(fatal_errors=False))
+        # enough distinct broken declarations to exceed max_errors
+        src = "\n".join(f"int broken{i}( {{ @@@@" for i in range(120))
+        fe.register_files({"main.cpp": src})
+        with pytest.raises(CppError):
+            fe.compile("main.cpp")
+
+    def test_recovery_inside_class(self):
+        src = (
+            "class C {\n"
+            "public:\n"
+            "    int ok();\n"
+            "    !!!garbage!!!\n"
+            "};\n"
+            "int after() { return 0; }\n"
+        )
+        fe = Frontend(FrontendOptions(fatal_errors=False))
+        fe.register_files({"main.cpp": src})
+        tree = fe.compile("main.cpp")
+        assert tree.find_routine("after") is not None
+
+
+class TestProfileGroups:
+    SRC = (
+        "int kernel() { return 1; }\n"
+        "int io_read() { return 2; }\n"
+        "int main() { return kernel() + io_read(); }\n"
+    )
+
+    def make_profiler(self):
+        pdb = PDB(analyze(compile_source(self.SRC)))
+
+        def namer(r):
+            name = r.name()
+            if not r.bodyBegin().known:
+                return None
+            group = "TAU_IO" if name.startswith("io_") else "TAU_USER"
+            return (name, group)
+
+        sim = ExecutionSimulator(
+            pdb, WorkloadSpec(cost=uniform_model(10.0)), namer=namer
+        )
+        return sim.run()
+
+    def test_groups_recorded(self):
+        profiler = self.make_profiler()
+        assert set(profiler.groups()) == {"TAU_USER", "TAU_IO"}
+
+    def test_group_filtering(self):
+        profiler = self.make_profiler()
+        io = profiler.group_stats("TAU_IO")
+        assert set(io) == {"io_read"}
+        user = profiler.group_stats("TAU_USER")
+        assert set(user) == {"kernel", "main"}
+
+    def test_groups_match_in_both_engines(self):
+        pdb = PDB(analyze(compile_source(self.SRC)))
+
+        def namer(r):
+            if not r.bodyBegin().known:
+                return None
+            return (r.name(), "TAU_IO" if r.name().startswith("io_") else "TAU_USER")
+
+        sim = ExecutionSimulator(pdb, WorkloadSpec(cost=uniform_model(1.0)), namer=namer)
+        fast = sim.run().profile(0)
+        traced = sim.run_traced().profile(0)
+        assert {t.group for t in fast.timers.values()} == {
+            t.group for t in traced.timers.values()
+        }
+
+
+class TestBarDisplay:
+    def test_bars_shape(self):
+        src = (
+            "int hot() { return 1; }\nint warm() { return 2; }\n"
+            "int main() { return hot() + warm(); }\n"
+        )
+        pdb = PDB(analyze(compile_source(src)))
+        from repro.tau.machine import CostModel
+
+        cm = CostModel(default_cycles=10.0).add("hot", 1000.0).add("warm", 500.0)
+        profiler = ExecutionSimulator(pdb, WorkloadSpec(cost=cm)).run()
+        out = format_bars(profiler, width=40, top=3)
+        lines = out.splitlines()[2:]
+        assert "hot" in lines[0] and lines[0].count("#") == 40
+        assert "warm" in lines[1] and 15 <= lines[1].count("#") <= 25
+
+    def test_bars_inclusive_metric(self):
+        src = "int a() { return 0; }\nint main() { return a(); }\n"
+        pdb = PDB(analyze(compile_source(src)))
+        profiler = ExecutionSimulator(pdb, WorkloadSpec(cost=uniform_model(5.0))).run()
+        out = format_bars(profiler, metric="inclusive", top=2)
+        assert "main" in out.splitlines()[2]  # main has the largest inclusive
+
+
+class TestF90ParseCli:
+    def test_cli(self, tmp_path):
+        from repro.tools.f90parse import main
+        from repro.workloads.fortran90 import fortran_files
+
+        paths = []
+        for name, text in fortran_files().items():
+            p = tmp_path / name
+            p.write_text(text)
+            paths.append(str(p))
+        out = tmp_path / "heat.pdb"
+        assert main(paths + ["-o", str(out)]) == 0
+        pdb = PDB.read(str(out))
+        assert pdb.findRoutine("heat_app") is not None
+        assert pdb.findClass("grid_mod::grid") is not None

@@ -1,0 +1,103 @@
+"""Front-end tests on the mini-POOMA corpus (the paper's Figure 7 app)."""
+
+import pytest
+
+from repro.cpp.il import TemplateKind
+from repro.workloads.pooma import compile_pooma
+
+CG = "CGSolver<double, pooma::StencilMatrix<double>, pooma::DiagonalPreconditioner<double>>"
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return compile_pooma()
+
+
+class TestCorpusCompiles:
+    def test_main(self, tree):
+        assert tree.find_routine("main").defined
+
+    def test_namespace(self, tree):
+        names = [n.name for n in tree.all_namespaces]
+        assert "pooma" in names
+
+    def test_solver_instantiations(self, tree):
+        assert tree.find_class(f"pooma::{CG}") is not None
+
+    def test_multi_level_template_args(self, tree):
+        cls = tree.find_class(f"pooma::{CG}")
+        args = [a.spelling() for a in cls.template_args]
+        assert args[0] == "double"
+        assert args[1] == "pooma::StencilMatrix<double>"
+
+    def test_expression_template_nesting(self, tree):
+        names = {c.full_name for c in tree.all_classes if c.is_instantiation}
+        assert "pooma::ScaleExpr<pooma::VectorView>" in names
+        assert "pooma::AddExpr<pooma::VectorView, pooma::ScaleExpr<pooma::VectorView>>" in names
+
+
+class TestSolverCallGraph:
+    def test_solve_instantiated(self, tree):
+        solve = tree.find_routine(f"pooma::{CG}::solve")
+        assert solve is not None and solve.defined
+
+    def test_solve_calls_kernels(self, tree):
+        solve = tree.find_routine(f"pooma::{CG}::solve")
+        callees = {c.callee.name for c in solve.calls}
+        assert {"apply", "dot", "axpy", "copy", "norm2", "xpay"} <= callees
+
+    def test_dependent_member_calls_resolved(self, tree):
+        """A.apply(x, r) where A's type is a template parameter."""
+        solve = tree.find_routine(f"pooma::{CG}::solve")
+        applies = [c.callee for c in solve.calls if c.callee.name == "apply"]
+        parents = {r.parent.full_name for r in applies}
+        assert "pooma::StencilMatrix<double>" in parents
+        assert "pooma::DiagonalPreconditioner<double>" in parents
+
+    def test_function_template_deduction(self, tree):
+        dots = [
+            r for r in tree.all_routines
+            if r.name == "dot" and r.is_instantiation
+        ]
+        assert dots and dots[0].template_args[0].spelling() == "double"
+
+    def test_local_vector_lifetimes(self, tree):
+        from repro.cpp.il import RoutineKind
+
+        solve = tree.find_routine(f"pooma::{CG}::solve")
+        ctors = [c for c in solve.calls if c.callee.kind is RoutineKind.CONSTRUCTOR]
+        dtors = [c for c in solve.calls if c.callee.kind is RoutineKind.DESTRUCTOR]
+        assert len(ctors) >= 4  # r, z, p, q
+        assert len(dtors) >= 4
+
+    def test_norm2_calls_dot_and_sqroot(self, tree):
+        norm2 = next(
+            r for r in tree.all_routines if r.name == "norm2" and r.is_instantiation
+        )
+        callees = {c.callee.name for c in norm2.calls}
+        assert "dot" in callees and "sqroot" in callees
+
+    def test_bicgstab_also_instantiated(self, tree):
+        bi = [r for r in tree.all_routines if r.name == "solve" and "BiCGSTAB" in r.full_name]
+        assert bi and bi[0].defined
+
+
+class TestTemplatesInPdb:
+    def test_te_items(self, tree):
+        from repro.analyzer import analyze
+
+        doc = analyze(tree)
+        te_names = {i.name for i in doc.by_prefix("te")}
+        assert {"Vector", "StencilMatrix", "CGSolver", "dot", "axpy"} <= te_names
+
+    def test_solver_members_match_class_template(self, tree):
+        from repro.analyzer import analyze
+        from repro.pdbfmt import ItemRef
+
+        doc = analyze(tree)
+        solves = [i for i in doc.by_prefix("ro") if i.name == "solve"]
+        for s in solves:
+            te_ref = s.get_ref("rtempl")
+            assert te_ref is not None
+            te = doc.find(te_ref)
+            assert te.name in ("CGSolver", "BiCGSTABSolver")

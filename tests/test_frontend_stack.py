@@ -1,0 +1,162 @@
+"""End-to-end front-end tests on the paper's Stack corpus (Figure 1/3)."""
+
+import pytest
+
+from repro.cpp.il import RoutineKind, TemplateKind
+from repro.cpp.instantiate import InstantiationMode
+from repro.workloads.stack import UNUSED_MEMBERS, USED_MEMBERS, compile_stack
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return compile_stack()
+
+
+class TestCompiles:
+    def test_main_found(self, tree):
+        main = tree.find_routine("main")
+        assert main is not None and main.defined
+
+    def test_files_discovered(self, tree):
+        names = [f.name for f in tree.files]
+        assert "TestStackAr.cpp" in names
+        assert "StackAr.h" in names
+        assert "StackAr.cpp" in names
+        assert any(n.endswith("vector.h") for n in names)
+
+    def test_inclusion_edges(self, tree):
+        header = next(f for f in tree.files if f.name == "StackAr.h")
+        inc_names = [f.name for f in header.includes]
+        assert "StackAr.cpp" in inc_names  # the paper's idiom
+        assert any(n.endswith("vector.h") for n in inc_names)
+        assert "dsexceptions.h" in inc_names
+
+
+class TestTemplates:
+    def test_class_template_registered(self, tree):
+        te = tree.find_template("Stack")
+        assert te is not None
+        assert te.kind is TemplateKind.CLASS
+        assert te.param_names() == ["Object"]
+        assert "template" in te.text and "Stack" in te.text
+
+    def test_member_function_templates(self, tree):
+        names = {
+            t.name
+            for t in tree.all_templates
+            if t.kind is TemplateKind.MEMBER_FUNCTION
+        }
+        assert {"push", "isEmpty", "isFull", "top", "pop", "makeEmpty", "topAndPop"} <= names
+
+    def test_memfunc_templates_linked_to_class_template(self, tree):
+        stack_te = tree.find_template("Stack")
+        push_te = next(t for t in tree.all_templates if t.name == "push")
+        assert push_te.owner_class_template is stack_te
+
+
+class TestInstantiation:
+    def test_stack_int_instantiated(self, tree):
+        cls = tree.find_class("Stack<int>")
+        assert cls is not None
+        assert cls.is_instantiation
+        assert cls.template_of is tree.find_template("Stack")
+        assert [a.spelling() for a in cls.template_args] == ["int"]
+
+    def test_members_declared(self, tree):
+        cls = tree.find_class("Stack<int>")
+        member_names = {r.name for r in cls.routines}
+        assert {"push", "isEmpty", "isFull", "top", "pop", "makeEmpty", "topAndPop"} <= member_names
+        field_names = [f.name for f in cls.fields]
+        assert field_names == ["theArray", "topOfStack"]
+
+    def test_field_types_substituted(self, tree):
+        cls = tree.find_class("Stack<int>")
+        the_array = cls.fields[0]
+        assert the_array.type.spelling() == "vector<int>"
+        assert cls.fields[1].type.spelling() == "int"
+
+    def test_vector_int_instantiated(self, tree):
+        assert tree.find_class("vector<int>") is not None
+
+    def test_used_members_have_bodies(self, tree):
+        cls = tree.find_class("Stack<int>")
+        for name in USED_MEMBERS:
+            r = next(r for r in cls.routines if r.name == name)
+            assert r.defined, f"{name} should be instantiated (used)"
+
+    def test_unused_members_have_no_bodies(self, tree):
+        cls = tree.find_class("Stack<int>")
+        for name in UNUSED_MEMBERS:
+            r = next(r for r in cls.routines if r.name == name)
+            assert not r.defined, f"{name} must stay uninstantiated (unused)"
+
+    def test_instantiated_member_links_to_memfunc_template(self, tree):
+        cls = tree.find_class("Stack<int>")
+        push = next(r for r in cls.routines if r.name == "push")
+        assert push.is_instantiation
+        assert push.template_of is not None
+        assert push.template_of.name == "push"
+
+    def test_instantiated_member_positions_point_into_template(self, tree):
+        cls = tree.find_class("Stack<int>")
+        push = next(r for r in cls.routines if r.name == "push")
+        assert push.location.file.name == "StackAr.cpp"
+        assert push.position.body is not None
+        assert push.position.body.begin.file.name == "StackAr.cpp"
+
+
+class TestCallGraph:
+    def test_main_calls(self, tree):
+        main = tree.find_routine("main")
+        callees = {c.callee.name for c in main.calls}
+        assert "push" in callees
+        assert "isEmpty" in callees
+        assert "topAndPop" in callees
+        # the local Stack<int> s triggers the constructor
+        assert any(c.callee.kind is RoutineKind.CONSTRUCTOR for c in main.calls)
+
+    def test_push_calls_isfull_and_overflow_ctor(self, tree):
+        cls = tree.find_class("Stack<int>")
+        push = next(r for r in cls.routines if r.name == "push")
+        callees = {c.callee.name for c in push.calls}
+        assert "isFull" in callees
+        assert "Overflow" in callees  # throw Overflow() constructor
+        assert "operator[]" in callees
+
+    def test_isfull_calls_vector_size(self, tree):
+        cls = tree.find_class("Stack<int>")
+        isfull = next(r for r in cls.routines if r.name == "isFull")
+        callees = {c.callee.full_name for c in isfull.calls}
+        assert any("size" in c for c in callees)
+
+    def test_ctor_initialiser_calls_vector_ctor(self, tree):
+        cls = tree.find_class("Stack<int>")
+        ctor = cls.constructors()[0]
+        assert ctor.defined
+        callee_parents = {
+            c.callee.parent.full_name
+            for c in ctor.calls
+            if c.callee.parent is not None
+        }
+        assert "vector<int>" in callee_parents
+
+    def test_operator_shift_call_from_main(self, tree):
+        main = tree.find_routine("main")
+        assert any(c.callee.name == "operator<<" for c in main.calls)
+
+
+class TestModes:
+    def test_all_mode_instantiates_everything(self):
+        tree = compile_stack(InstantiationMode.ALL)
+        cls = tree.find_class("Stack<int>")
+        for name in USED_MEMBERS + UNUSED_MEMBERS:
+            r = next(r for r in cls.routines if r.name.split("<")[0] == name.split("<")[0])
+            assert r.defined, f"ALL mode must define {name}"
+
+    def test_used_strictly_smaller_than_all(self):
+        used = compile_stack(InstantiationMode.USED)
+        full = compile_stack(InstantiationMode.ALL)
+        assert used.node_count() < full.node_count()
+        used_defined = sum(1 for r in used.all_routines if r.defined)
+        all_defined = sum(1 for r in full.all_routines if r.defined)
+        assert used_defined < all_defined

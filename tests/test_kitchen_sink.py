@@ -1,0 +1,86 @@
+"""Whole-pipeline differential sweep: every corpus, both instantiation
+modes, through compile -> analyze -> validate -> round trip."""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.cpp.instantiate import InstantiationMode
+from repro.ductape.pdb import PDB
+from repro.pdbfmt import parse_pdb, write_pdb
+from repro.tools.pdbconv import check_pdb
+
+CORPORA = {
+    "stack": lambda mode: __import__(
+        "repro.workloads.stack", fromlist=["compile_stack"]
+    ).compile_stack(mode),
+    "pooma": lambda mode: __import__(
+        "repro.workloads.pooma", fromlist=["compile_pooma"]
+    ).compile_pooma(mode),
+    "synth": lambda mode: __import__(
+        "repro.workloads.synth", fromlist=["compile_synth"]
+    ).compile_synth(
+        __import__("repro.workloads.synth", fromlist=["SynthSpec"]).SynthSpec(
+            n_templates=3, instantiations_per_template=2, call_depth=3
+        ),
+        mode=mode,
+    )[0],
+}
+
+MODES = [InstantiationMode.USED, InstantiationMode.ALL]
+
+
+@pytest.mark.parametrize("corpus", sorted(CORPORA))
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+def test_pipeline_sweep(corpus, mode):
+    tree = CORPORA[corpus](mode)
+    doc = analyze(tree)
+    # every PDB is schema-clean with no dangling references
+    pdb = PDB(doc)
+    assert check_pdb(pdb) == [], f"{corpus}/{mode.value} PDB invalid"
+    # write -> parse -> write is the identity
+    text = write_pdb(doc)
+    assert write_pdb(parse_pdb(text)) == text
+    # DUCTAPE loads and navigates it
+    loaded = PDB.from_text(text)
+    assert len(loaded.items()) == len(doc.items)
+    for r in loaded.getRoutineVec():
+        for call in r.callees():
+            assert call.call() is not None
+
+
+@pytest.mark.parametrize("corpus", sorted(CORPORA))
+def test_used_mode_call_graph_subset_of_all(corpus):
+    """Every call edge extracted under USED also exists under ALL."""
+
+    def edges(tree):
+        out = set()
+        for r in tree.all_routines:
+            for c in r.calls:
+                out.add((r.full_name, c.callee.full_name))
+        return out
+
+    used = edges(CORPORA[corpus](InstantiationMode.USED))
+    full = edges(CORPORA[corpus](InstantiationMode.ALL))
+    assert used <= full
+
+
+def test_multi_source_cxxparse(tmp_path):
+    """cxxparse over multiple TUs auto-merges (the PDT build workflow)."""
+    from repro.tools.cxxparse import main
+
+    (tmp_path / "box.h").write_text(
+        "#ifndef BOX_H\n#define BOX_H\n"
+        "template <class T> class Box { public: T g() { return 0; } };\n"
+        "#endif\n"
+    )
+    (tmp_path / "a.cpp").write_text('#include "box.h"\nint fa() { Box<int> b; return b.g(); }\n')
+    (tmp_path / "b.cpp").write_text('#include "box.h"\nint fb() { Box<int> b; return b.g(); }\n')
+    out = tmp_path / "all.pdb"
+    rc = main([str(tmp_path / "a.cpp"), str(tmp_path / "b.cpp"), "-o", str(out)])
+    assert rc == 0
+    pdb = PDB.read(str(out))
+    assert pdb.findRoutine("fa") is not None
+    assert pdb.findRoutine("fb") is not None
+    boxes = [c for c in pdb.getClassVec() if c.name() == "Box<int>"]
+    assert len(boxes) == 1  # merged, duplicate instantiation eliminated
+    assert check_pdb(pdb) == []

@@ -1,0 +1,405 @@
+"""Declaration parser tests: classes, namespaces, enums, functions."""
+
+import pytest
+
+from repro.cpp.il import Access, ClassKind, RoutineKind, Virtuality
+from tests.util import compile_source
+
+
+class TestClasses:
+    def test_simple_class(self):
+        tree = compile_source("class Foo { public: int x; };")
+        c = tree.find_class("Foo")
+        assert c is not None and c.defined
+        assert c.kind is ClassKind.CLASS
+        assert [f.name for f in c.fields] == ["x"]
+
+    def test_struct_default_public(self):
+        tree = compile_source("struct S { int x; };")
+        assert tree.find_class("S").fields[0].access is Access.PUBLIC
+
+    def test_class_default_private(self):
+        tree = compile_source("class C { int x; };")
+        assert tree.find_class("C").fields[0].access is Access.PRIVATE
+
+    def test_access_sections(self):
+        tree = compile_source(
+            "class C { int a; public: int b; protected: int c; private: int d; };"
+        )
+        acs = {f.name: f.access for f in tree.find_class("C").fields}
+        assert acs == {
+            "a": Access.PRIVATE,
+            "b": Access.PUBLIC,
+            "c": Access.PROTECTED,
+            "d": Access.PRIVATE,
+        }
+
+    def test_union(self):
+        tree = compile_source("union U { int i; double d; };")
+        assert tree.find_class("U").kind is ClassKind.UNION
+
+    def test_forward_declaration_then_definition(self):
+        tree = compile_source("class F; class F { public: int x; };")
+        classes = [c for c in tree.all_classes if c.name == "F"]
+        assert len(classes) == 1 and classes[0].defined
+
+    def test_single_inheritance(self):
+        tree = compile_source("class A {}; class B : public A {};")
+        b = tree.find_class("B")
+        base, access, virtual = b.bases[0]
+        assert base.name == "A" and access is Access.PUBLIC and not virtual
+
+    def test_multiple_inheritance(self):
+        tree = compile_source(
+            "class A {}; class B {}; class C : public A, private B {};"
+        )
+        c = tree.find_class("C")
+        assert len(c.bases) == 2
+        assert c.bases[1][1] is Access.PRIVATE
+
+    def test_virtual_inheritance(self):
+        tree = compile_source("class A {}; class B : public virtual A {};")
+        assert tree.find_class("B").bases[0][2] is True
+
+    def test_default_base_access_class_is_private(self):
+        tree = compile_source("class A {}; class B : A {};")
+        assert tree.find_class("B").bases[0][1] is Access.PRIVATE
+
+    def test_default_base_access_struct_is_public(self):
+        tree = compile_source("class A {}; struct B : A {};")
+        assert tree.find_class("B").bases[0][1] is Access.PUBLIC
+
+    def test_nested_class(self):
+        tree = compile_source("class Outer { public: class Inner { int x; }; };")
+        outer = tree.find_class("Outer")
+        assert outer.inner_classes[0].name == "Inner"
+        assert outer.inner_classes[0].full_name == "Outer::Inner"
+
+    def test_derived_from(self):
+        tree = compile_source(
+            "class A {}; class B : public A {}; class C : public B {};"
+        )
+        assert tree.find_class("C").derived_from(tree.find_class("A"))
+        assert not tree.find_class("A").derived_from(tree.find_class("C"))
+
+    def test_class_positions(self):
+        tree = compile_source("class Foo {\n  int x;\n};\n")
+        c = tree.find_class("Foo")
+        assert c.position.header is not None
+        assert c.position.body.begin.line == 1
+        assert c.position.body.end.line == 3
+
+    def test_static_member(self):
+        tree = compile_source("class C { public: static int count; };")
+        f = tree.find_class("C").fields[0]
+        assert f.is_static and f.member_kind == "svar"
+
+    def test_mutable_member(self):
+        tree = compile_source("class C { mutable int cache; };")
+        assert tree.find_class("C").fields[0].is_mutable
+
+
+class TestMemberFunctions:
+    def test_declaration_only(self):
+        tree = compile_source("class C { public: void f(); };")
+        r = tree.find_class("C").routines[0]
+        assert r.name == "f" and not r.defined
+
+    def test_inline_definition(self):
+        tree = compile_source("class C { public: int f() { return 1; } };")
+        assert tree.find_class("C").routines[0].defined
+
+    def test_out_of_line_definition(self):
+        tree = compile_source("class C { public: int f(); };\nint C::f() { return 1; }")
+        r = tree.find_class("C").routines[0]
+        assert r.defined
+        assert r.location.line == 2  # definition site wins
+
+    def test_constructor(self):
+        tree = compile_source("class C { public: C(int x); };")
+        ctor = tree.find_class("C").constructors()[0]
+        assert ctor.kind is RoutineKind.CONSTRUCTOR
+
+    def test_destructor(self):
+        tree = compile_source("class C { public: ~C(); };")
+        d = tree.find_class("C").destructor()
+        assert d is not None and d.kind is RoutineKind.DESTRUCTOR
+        assert d.name == "~C"
+
+    def test_out_of_line_ctor_dtor(self):
+        tree = compile_source(
+            "class C { public: C(); ~C(); };\nC::C() { }\nC::~C() { }"
+        )
+        c = tree.find_class("C")
+        assert c.constructors()[0].defined
+        assert c.destructor().defined
+
+    def test_virtual(self):
+        tree = compile_source("class C { public: virtual void f(); };")
+        assert tree.find_class("C").routines[0].virtuality is Virtuality.VIRTUAL
+
+    def test_pure_virtual(self):
+        tree = compile_source("class C { public: virtual void f() = 0; };")
+        c = tree.find_class("C")
+        assert c.routines[0].virtuality is Virtuality.PURE
+        assert c.is_abstract
+
+    def test_override_inherits_virtuality(self):
+        tree = compile_source(
+            "class A { public: virtual void f(); };\n"
+            "class B : public A { public: void f(); };"
+        )
+        b = tree.find_class("B")
+        assert b.routines[0].virtuality is Virtuality.VIRTUAL
+
+    def test_const_member(self):
+        tree = compile_source("class C { public: int f() const; };")
+        r = tree.find_class("C").routines[0]
+        assert r.is_const and r.signature.const
+
+    def test_static_member_function(self):
+        tree = compile_source("class C { public: static int f(); };")
+        assert tree.find_class("C").routines[0].is_static_member
+
+    def test_operator_overload(self):
+        tree = compile_source("class C { public: C& operator=(const C& o); };")
+        r = tree.find_class("C").routines[0]
+        assert r.name == "operator=" and r.kind is RoutineKind.OPERATOR
+
+    def test_subscript_and_call_operators(self):
+        tree = compile_source(
+            "class C { public: int operator[](int i); int operator()(int i); };"
+        )
+        names = [r.name for r in tree.find_class("C").routines]
+        assert names == ["operator[]", "operator()"]
+
+    def test_conversion_operator(self):
+        tree = compile_source("class C { public: operator bool() const; };")
+        r = tree.find_class("C").routines[0]
+        assert r.kind is RoutineKind.CONVERSION
+        assert "bool" in r.name
+
+    def test_overloads_coexist(self):
+        tree = compile_source("class C { public: void f(int); void f(double); };")
+        assert len(tree.find_class("C").find_routines("f")) == 2
+
+    def test_default_argument_recorded(self):
+        tree = compile_source("class C { public: void f(int x = 10); };")
+        p = tree.find_class("C").routines[0].parameters[0]
+        assert p.default_text == "10"
+
+    def test_throw_spec(self):
+        tree = compile_source(
+            "class E {}; class C { public: void f() throw(E); };"
+        )
+        r = tree.find_class("C").routines[0]
+        assert r.signature.has_throw_spec
+        assert len(r.signature.exceptions) == 1
+
+    def test_explicit_ctor(self):
+        tree = compile_source("class C { public: explicit C(int x); };")
+        assert tree.find_class("C").constructors()[0].is_explicit
+
+
+class TestFriends:
+    def test_friend_class(self):
+        tree = compile_source("class B {}; class A { friend class B; };")
+        a = tree.find_class("A")
+        assert a.friend_classes[0].name == "B"
+
+    def test_friend_function(self):
+        tree = compile_source(
+            "class A { friend int helper(const A& a); public: int x; };"
+        )
+        a = tree.find_class("A")
+        assert a.friend_routines[0].name == "helper"
+        # friend declaration introduces a namespace-scope function
+        assert tree.find_routine("helper") is not None
+
+
+class TestNamespaces:
+    def test_namespace_members(self):
+        tree = compile_source("namespace ns { class C {}; int f(); }")
+        ns = tree.global_namespace.namespaces[0]
+        assert ns.name == "ns"
+        assert tree.find_class("ns::C") is not None
+        assert tree.find_routine("ns::f") is not None
+
+    def test_nested_namespaces(self):
+        tree = compile_source("namespace a { namespace b { class C {}; } }")
+        assert tree.find_class("a::b::C") is not None
+
+    def test_namespace_reopened(self):
+        tree = compile_source("namespace n { class A {}; } namespace n { class B {}; }")
+        assert len(tree.all_namespaces) == 1
+        ns = tree.all_namespaces[0]
+        assert {c.name for c in ns.classes} == {"A", "B"}
+
+    def test_using_directive(self):
+        tree = compile_source(
+            "namespace n { class C {}; }\nusing namespace n;\nC c;"
+        )
+        v = tree.all_variables[0]
+        assert v.type.spelling() == "n::C"
+
+    def test_using_declaration(self):
+        tree = compile_source(
+            "namespace n { int f() { return 0; } }\nusing n::f;\nint g() { return f(); }"
+        )
+        g = tree.find_routine("g")
+        assert g.calls[0].callee.full_name == "n::f"
+
+    def test_namespace_alias(self):
+        tree = compile_source(
+            "namespace longname { class C {}; }\nnamespace ln = longname;\nln::C c;"
+        )
+        assert tree.all_variables[0].type.spelling() == "longname::C"
+
+    def test_anonymous_namespace_visible(self):
+        tree = compile_source("namespace { class Hidden {}; }\nHidden h;")
+        assert tree.all_variables[0].type.spelling().endswith("Hidden")
+
+    def test_qualified_lookup(self):
+        tree = compile_source(
+            "namespace n { class C { public: void m(); }; }\n"
+            "void caller() { n::C x; x.m(); }"
+        )
+        caller = tree.find_routine("caller")
+        assert any(c.callee.name == "m" for c in caller.calls)
+
+
+class TestEnumsTypedefs:
+    def test_enum(self):
+        tree = compile_source("enum Color { RED, GREEN, BLUE };")
+        e = tree.all_enums[0]
+        assert e.name == "Color"
+        assert e.enumerators == [("RED", 0), ("GREEN", 1), ("BLUE", 2)]
+
+    def test_enum_explicit_values(self):
+        tree = compile_source("enum E { A = 5, B, C = 10 };")
+        assert tree.all_enums[0].enumerators == [("A", 5), ("B", 6), ("C", 10)]
+
+    def test_class_scoped_enum(self):
+        tree = compile_source("class C { public: enum Mode { ON, OFF }; };")
+        c = tree.find_class("C")
+        assert c.inner_enums[0].name == "Mode"
+        assert c.inner_enums[0].full_name == "C::Mode"
+
+    def test_typedef(self):
+        tree = compile_source("typedef unsigned long size_type;")
+        td = tree.all_typedefs[0]
+        assert td.name == "size_type"
+        assert td.underlying.spelling() == "unsigned long"
+
+    def test_typedef_of_class(self):
+        tree = compile_source("class C {}; typedef C Alias; Alias a;")
+        assert tree.all_variables[0].type.strip().spelling() == "C"
+
+    def test_typedef_in_class(self):
+        tree = compile_source("class C { public: typedef int* iterator; };")
+        td = tree.find_class("C").inner_typedefs[0]
+        assert td.name == "iterator"
+        assert td.underlying.spelling() == "int *"
+
+    def test_function_pointer_typedef(self):
+        tree = compile_source("typedef int (*callback)(double);")
+        td = tree.all_typedefs[0]
+        assert td.name == "callback"
+        assert "int (double)" in td.underlying.spelling()
+
+
+class TestFunctionsAndVariables:
+    def test_free_function(self):
+        tree = compile_source("int add(int a, int b) { return a + b; }")
+        r = tree.find_routine("add")
+        assert r.defined
+        assert r.signature.spelling() == "int (int, int)"
+        assert [p.name for p in r.parameters] == ["a", "b"]
+
+    def test_function_declaration(self):
+        tree = compile_source("double f(double x);")
+        assert not tree.find_routine("f").defined
+
+    def test_overloaded_free_functions(self):
+        tree = compile_source("void f(int) { }\nvoid f(double) { }")
+        assert len([r for r in tree.all_routines if r.name == "f"]) == 2
+
+    def test_extern_c_linkage(self):
+        tree = compile_source('extern "C" { int c_func(); }\nint cpp_func();')
+        assert tree.find_routine("c_func").linkage == "C"
+        assert tree.find_routine("cpp_func").linkage == "C++"
+
+    def test_extern_c_single_decl(self):
+        tree = compile_source('extern "C" int lone();')
+        assert tree.find_routine("lone").linkage == "C"
+
+    def test_static_storage(self):
+        tree = compile_source("static int helper() { return 1; }")
+        assert tree.find_routine("helper").storage == "static"
+
+    def test_global_variable(self):
+        tree = compile_source("int counter;")
+        assert tree.all_variables[0].name == "counter"
+
+    def test_ellipsis(self):
+        tree = compile_source("int printf_like(const char* fmt, ...);")
+        assert tree.find_routine("printf_like").signature.ellipsis
+
+    def test_void_param_list(self):
+        tree = compile_source("int f(void);")
+        assert tree.find_routine("f").signature.parameters == ()
+
+    def test_rpos_recorded(self):
+        tree = compile_source("int f()\n{\n  return 0;\n}\n")
+        r = tree.find_routine("f")
+        assert r.position.body.begin.line == 2
+        assert r.position.body.end.line == 4
+
+    def test_inline(self):
+        tree = compile_source("inline int f() { return 1; }")
+        assert tree.find_routine("f").is_inline
+
+
+class TestOutOfLineEdgeCases:
+    def test_static_data_member_definition(self):
+        tree = compile_source(
+            "class C { public: static int count; };\nint C::count = 0;\n"
+            "int f() { return C::count; }\n"
+        )
+        c = tree.find_class("C")
+        field = c.fields[0]
+        assert getattr(field, "flags", {}).get("defined")
+        assert tree.find_routine("f").defined
+
+    def test_nested_class_out_of_line_member(self):
+        tree = compile_source(
+            "class Outer {\n"
+            "public:\n"
+            "    class Inner { public: int m(); };\n"
+            "};\n"
+            "int Outer::Inner::m() { return 7; }\n"
+        )
+        inner = tree.find_class("Outer::Inner")
+        m = inner.routines[0]
+        assert m.defined
+        assert m.location.line == 5
+
+    def test_namespace_qualified_out_of_line_member(self):
+        tree = compile_source(
+            "namespace ns { class C { public: void go(); }; }\n"
+            "void ns::C::go() { }\n"
+        )
+        go = tree.find_routine("ns::C::go")
+        assert go is not None and go.defined
+
+    def test_out_of_line_member_of_instantiation(self):
+        # explicit specialization members defined out of line
+        tree = compile_source(
+            "template <class T> class B { public: T g(); };\n"
+            "template <> class B<int> { public: int g(); };\n"
+            "int B<int>::g() { return 3; }\n"
+            "int f() { B<int> b; return b.g(); }\n"
+        )
+        spec = tree.find_class("B<int>")
+        g = spec.routines[0]
+        assert g.defined

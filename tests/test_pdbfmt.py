@@ -1,0 +1,164 @@
+"""PDB format tests: writer, reader, round trips."""
+
+import pytest
+
+from repro.pdbfmt import (
+    ItemRef,
+    PdbDocument,
+    PdbLocation,
+    PdbParseError,
+    RawItem,
+    parse_pdb,
+    write_pdb,
+)
+from repro.pdbfmt.spec import ATTRIBUTE_SCHEMAS, ITEM_TYPES
+
+
+def sample_doc() -> PdbDocument:
+    doc = PdbDocument()
+    so = doc.add(RawItem("so", 1, "main.cpp"))
+    so.add("sinc", "so#2")
+    doc.add(RawItem("so", 2, "lib.h"))
+    ro = doc.add(RawItem("ro", 1, "main"))
+    ro.add("rloc", "so#1", 3, 5)
+    ro.add("racs", "NA")
+    ro.add("rcall", "ro#2", "no", "so#1", 4, 9)
+    ro.add("rpos", "so#1", 3, 1, "so#1", 3, 10, "so#1", 3, 12, "so#1", 6, 1)
+    ro2 = doc.add(RawItem("ro", 2, "helper"))
+    ro2.add("rloc", "so#2", 1, 5)
+    te = doc.add(RawItem("te", 1, "Stack"))
+    te.add_text("ttext", "template <class T> class Stack { };")
+    return doc
+
+
+class TestItemRef:
+    def test_parse(self):
+        ref = ItemRef.parse("so#66")
+        assert ref == ItemRef("so", 66)
+
+    def test_str(self):
+        assert str(ItemRef("ro", 7)) == "ro#7"
+
+    def test_null(self):
+        assert ItemRef.parse("NULL") is None
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            ItemRef.parse("plainword")
+
+
+class TestLocation:
+    def test_str(self):
+        loc = PdbLocation(ItemRef("so", 66), 23, 15)
+        assert str(loc) == "so#66 23 15"
+
+    def test_null_renders(self):
+        assert str(PdbLocation.null()) == "NULL 0 0"
+
+
+class TestWriter:
+    def test_header(self):
+        text = write_pdb(PdbDocument())
+        assert text.startswith("<PDB 1.0>")
+
+    def test_item_lines(self):
+        text = write_pdb(sample_doc())
+        assert "so#1 main.cpp" in text
+        assert "sinc so#2" in text
+        assert "rcall ro#2 no so#1 4 9" in text
+
+    def test_text_attribute_verbatim(self):
+        text = write_pdb(sample_doc())
+        assert "ttext template <class T> class Stack { };" in text
+
+    def test_deterministic(self):
+        assert write_pdb(sample_doc()) == write_pdb(sample_doc())
+
+
+class TestReader:
+    def test_round_trip(self):
+        text = write_pdb(sample_doc())
+        doc2 = parse_pdb(text)
+        assert write_pdb(doc2) == text
+
+    def test_counts(self):
+        doc = parse_pdb(write_pdb(sample_doc()))
+        assert len(doc.by_prefix("so")) == 2
+        assert len(doc.by_prefix("ro")) == 2
+        assert len(doc.by_prefix("te")) == 1
+
+    def test_find(self):
+        doc = parse_pdb(write_pdb(sample_doc()))
+        item = doc.find(ItemRef("ro", 1))
+        assert item is not None and item.name == "main"
+
+    def test_get_ref(self):
+        doc = parse_pdb(write_pdb(sample_doc()))
+        so1 = doc.find(ItemRef("so", 1))
+        assert so1.get_ref("sinc") == ItemRef("so", 2)
+
+    def test_get_location(self):
+        doc = parse_pdb(write_pdb(sample_doc()))
+        ro = doc.find(ItemRef("ro", 1))
+        loc = ro.get_location("rloc")
+        assert (loc.file, loc.line, loc.column) == (ItemRef("so", 1), 3, 5)
+
+    def test_get_positions(self):
+        doc = parse_pdb(write_pdb(sample_doc()))
+        ro = doc.find(ItemRef("ro", 1))
+        locs = ro.get_positions("rpos")
+        assert len(locs) == 4
+        assert locs[3].line == 6
+
+    def test_unknown_attribute_preserved(self):
+        text = "<PDB 1.0>\n\nro#1 f\nrfancy a b c\n"
+        doc = parse_pdb(text)
+        assert doc.items[0].get("rfancy").words == ["a", "b", "c"]
+
+    def test_blank_lines_optional(self):
+        text = "<PDB 1.0>\nso#1 a.cpp\nso#2 b.cpp\n"
+        assert len(parse_pdb(text).items) == 2
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(PdbParseError, match="header"):
+            parse_pdb("so#1 a.cpp\n")
+
+    def test_attribute_outside_item_rejected(self):
+        with pytest.raises(PdbParseError, match="outside"):
+            parse_pdb("<PDB 1.0>\nsinc so#2\n")
+
+    def test_duplicate_header_rejected(self):
+        with pytest.raises(PdbParseError, match="duplicate"):
+            parse_pdb("<PDB 1.0>\n<PDB 1.0>\n")
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(PdbParseError):
+            parse_pdb("")
+
+    def test_version_parsed(self):
+        assert parse_pdb("<PDB 2.5>\n").version == "2.5"
+
+
+class TestSpec:
+    def test_table1_prefixes(self):
+        """Paper Table 1's prefix column, exactly."""
+        assert ITEM_TYPES == {
+            "so": "SOURCE FILES",
+            "ro": "ROUTINES",
+            "cl": "CLASSES",
+            "ty": "TYPES",
+            "te": "TEMPLATES",
+            "na": "NAMESPACES",
+            "ma": "MACROS",
+        }
+
+    def test_every_prefix_has_schema(self):
+        assert set(ATTRIBUTE_SCHEMAS) == set(ITEM_TYPES)
+
+    def test_attribute_keys_use_prefix_letter(self):
+        # each item type's attribute keys start with a letter tied to the
+        # prefix ("distinguishing prefixes for common item attributes")
+        first = {"so": "s", "ro": "r", "cl": "c", "ty": "y", "te": "t", "na": "n", "ma": "m"}
+        for prefix, attrs in ATTRIBUTE_SCHEMAS.items():
+            for key in attrs:
+                assert key.startswith(first[prefix]), (prefix, key)

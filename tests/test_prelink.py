@@ -1,0 +1,70 @@
+"""Prelink simulator tests (the EDG automatic scheme, paper Section 2)."""
+
+import pytest
+
+from repro.cpp import Frontend, FrontendOptions
+from repro.cpp.instantiate import InstantiationMode
+from repro.cpp.prelink import PrelinkSimulator
+from repro.workloads.stl import KAI_INCLUDE_DIR, stl_files
+
+SHARED = {
+    "box.h": (
+        "#ifndef BOX_H\n#define BOX_H\n"
+        "template <class T> class Box {\n"
+        "public:\n"
+        "    Box() : v_(0) { }\n"
+        "    T get() const { return v_; }\n"
+        "    void set(const T& x) { v_ = x; }\n"
+        "private:\n"
+        "    T v_;\n"
+        "};\n"
+        "#endif\n"
+    ),
+    "a.cpp": '#include "box.h"\nint fa() { Box<int> b; b.set(1); return b.get(); }\n',
+    "b.cpp": '#include "box.h"\nint fb() { Box<double> b; b.set(2.0); return 0; }\n',
+}
+
+
+def simulator():
+    fe = Frontend(FrontendOptions(instantiation_mode=InstantiationMode.PRELINK))
+    fe.register_files(SHARED)
+    return PrelinkSimulator(fe)
+
+
+class TestPrelinkLoop:
+    def test_converges(self):
+        result = simulator().run(["a.cpp", "b.cpp"])
+        assert result.iterations >= 1
+        assert result.total_instantiations >= 2  # Box<int>, Box<double>
+
+    def test_recompiles_recorded(self):
+        result = simulator().run(["a.cpp", "b.cpp"])
+        assert result.total_recompiles >= 1
+        recompiled = {name for r in result.rounds for name in r.recompiled}
+        assert recompiled <= {"a.cpp", "b.cpp"}
+
+    def test_il_has_no_instantiations(self):
+        """The paper's point: the automatic scheme leaves the IL empty of
+        instantiation subtrees."""
+        result = simulator().run(["a.cpp", "b.cpp"])
+        assert result.il_instantiation_count() == 0
+
+    def test_used_mode_has_instantiations(self):
+        fe = Frontend(FrontendOptions(instantiation_mode=InstantiationMode.USED))
+        fe.register_files(SHARED)
+        tree = fe.compile("a.cpp")
+        visible = [
+            c for c in tree.all_classes
+            if c.is_instantiation and c.flags.get("il_visible", True)
+        ]
+        assert visible
+
+    def test_wrong_mode_rejected(self):
+        fe = Frontend(FrontendOptions(instantiation_mode=InstantiationMode.USED))
+        with pytest.raises(AssertionError):
+            PrelinkSimulator(fe)
+
+    def test_object_files_carry_potential_lists(self):
+        result = simulator().run(["a.cpp", "b.cpp"])
+        a = next(o for o in result.objects if o.name == "a.cpp")
+        assert any("Box<int>" in p for p in a.potential)

@@ -1,0 +1,159 @@
+"""Tests for TAU select files and throttling."""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.ductape.pdb import PDB
+from repro.tau.runtime import TimerStats
+from repro.tau.selectfile import SelectiveRules, throttle
+from repro.tau.selector import select_instrumentation
+from repro.workloads.stack import compile_stack
+
+
+@pytest.fixture(scope="module")
+def stack_points():
+    pdb = PDB(analyze(compile_stack()))
+    return select_instrumentation(pdb)
+
+
+class TestParsing:
+    def test_sections(self):
+        rules = SelectiveRules.parse(
+            "BEGIN_EXCLUDE_LIST\nvector#\nEND_EXCLUDE_LIST\n"
+            "BEGIN_FILE_INCLUDE_LIST\n*.cpp\nEND_FILE_INCLUDE_LIST\n"
+        )
+        assert rules.exclude == ["vector#"]
+        assert rules.file_include == ["*.cpp"]
+
+    def test_comments_and_blanks(self):
+        rules = SelectiveRules.parse(
+            "# this is a comment\n\n"
+            "BEGIN_EXCLUDE_LIST\n"
+            "# another comment\n"
+            "foo#\n"
+            "END_EXCLUDE_LIST\n"
+        )
+        assert rules.exclude == ["foo#"]
+
+    def test_missing_end_rejected(self):
+        with pytest.raises(ValueError, match="missing END_EXCLUDE_LIST"):
+            SelectiveRules.parse("BEGIN_EXCLUDE_LIST\nfoo\n")
+
+    def test_stray_line_rejected(self):
+        with pytest.raises(ValueError, match="BEGIN"):
+            SelectiveRules.parse("random_pattern\n")
+
+
+class TestMatching:
+    def test_hash_wildcard(self):
+        r = SelectiveRules(exclude=["vector#"])
+        assert not r.allows_routine("vector::push_back()")
+        assert r.allows_routine("Stack::push()")
+
+    def test_hash_mid_pattern(self):
+        r = SelectiveRules(exclude=["Stack::#Pop#"])
+        assert not r.allows_routine("Stack::topAndPop()")
+        assert r.allows_routine("Stack::push()")
+
+    def test_include_list_is_exhaustive(self):
+        r = SelectiveRules(include=["Stack#"])
+        assert r.allows_routine("Stack::push()")
+        assert not r.allows_routine("vector::size()")
+
+    def test_file_globs(self):
+        r = SelectiveRules(file_include=["*.cpp"])
+        assert r.allows_file("StackAr.cpp")
+        assert not r.allows_file("/pdt/include/kai/vector.h")
+
+    def test_file_exclude(self):
+        r = SelectiveRules(file_exclude=["/pdt/include/*"])
+        assert not r.allows_file("/pdt/include/kai/vector.h")
+        assert r.allows_file("StackAr.cpp")
+
+
+class TestApply:
+    def test_exclude_library_headers(self, stack_points):
+        rules = SelectiveRules.parse(
+            "BEGIN_FILE_EXCLUDE_LIST\n/pdt/include/*\nEND_FILE_EXCLUDE_LIST\n"
+        )
+        filtered = rules.apply(stack_points)
+        assert filtered
+        assert all("/pdt/include" not in p.file_name for p in filtered)
+        assert len(filtered) < len(stack_points)
+
+    def test_exclude_routine_family(self, stack_points):
+        rules = SelectiveRules.parse(
+            "BEGIN_EXCLUDE_LIST\nvector#\nostream#\nistream#\nEND_EXCLUDE_LIST\n"
+        )
+        filtered = rules.apply(stack_points)
+        names = [p.timer_name() for p in filtered]
+        assert not any(n.startswith("vector") for n in names)
+        assert any(n.startswith("Stack") for n in names)
+
+    def test_include_only_stack(self, stack_points):
+        rules = SelectiveRules.parse(
+            "BEGIN_INCLUDE_LIST\nStack#\nEND_INCLUDE_LIST\n"
+        )
+        filtered = rules.apply(stack_points)
+        assert filtered
+        assert all(p.timer_name().startswith("Stack") for p in filtered)
+
+
+class TestThrottle:
+    def make_stats(self):
+        hot = TimerStats(name="kernel", calls=10, inclusive=5000.0, exclusive=5000.0)
+        tiny = TimerStats(
+            name="operator[]", calls=1_000_000, inclusive=2_000_000.0, exclusive=2_000_000.0
+        )  # 2 usec/call
+        return {"kernel": hot, "operator[]": tiny}
+
+    def test_throttles_high_frequency_cheap_timers(self):
+        kept, throttled = throttle(self.make_stats(), calls_threshold=100_000,
+                                   percall_threshold_usec=10.0)
+        assert throttled == ["operator[]"]
+        assert set(kept) == {"kernel"}
+
+    def test_keeps_expensive_high_frequency(self):
+        stats = self.make_stats()
+        stats["operator[]"].inclusive = 100_000_000.0  # 100 usec/call
+        kept, throttled = throttle(stats)
+        assert throttled == []
+
+    def test_keeps_low_frequency(self):
+        kept, throttled = throttle(self.make_stats(), calls_threshold=10_000_000)
+        assert throttled == []
+
+
+class TestTauInstrCli:
+    def test_cli_with_select_file(self, tmp_path):
+        from repro.tau.cli import main
+        from repro.workloads.stack import stack_files
+
+        src_dir = tmp_path / "src"
+        src_dir.mkdir()
+        # materialise the whole corpus on disk with a flat include layout
+        flat = {}
+        for name, text in stack_files().items():
+            base = name.rsplit("/", 1)[-1]
+            flat[base] = text
+        for base, text in flat.items():
+            (src_dir / base).write_text(text)
+        select = tmp_path / "select.tau"
+        select.write_text(
+            "BEGIN_EXCLUDE_LIST\nvector#\nostream#\nistream#\nEND_EXCLUDE_LIST\n"
+        )
+        outdir = tmp_path / "out"
+        rc = main(
+            [
+                str(src_dir / "TestStackAr.cpp"),
+                "-I", str(src_dir),
+                "-o", str(outdir),
+                "--select", str(select),
+                "--run",
+            ]
+        )
+        assert rc == 0
+        rewritten = (outdir / "vector.h").read_text()
+        assert "TAU_PROFILE(\"vector" not in rewritten
+        stack_cpp = (outdir / "StackAr.cpp").read_text()
+        assert 'TAU_PROFILE("Stack::push()"' in stack_cpp

@@ -1,0 +1,254 @@
+"""SILOON tests: mangling, generation, bridge dispatch (Section 4.2)."""
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.ductape.pdb import PDB
+from repro.siloon.bridge import Bridge, ObjectHandle, SiloonError
+from repro.siloon.generator import generate_bindings, propose_instantiations
+from repro.siloon.mangler import demangle_hint, mangle_routine, mangle_text
+from repro.workloads.stack import compile_stack
+from tests.util import compile_source
+
+
+@pytest.fixture(scope="module")
+def stack_pdb():
+    return PDB(analyze(compile_stack()))
+
+
+class TestMangler:
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "push",
+            "Stack<int>::push",
+            "operator<<",
+            "operator[]",
+            "~Stack",
+            "vector<Stack<int> >::size",
+            "f(const int &, double *)",
+            "a_b__c",
+            "ns::f",
+        ],
+    )
+    def test_round_trip(self, name):
+        assert demangle_hint(mangle_text(name)) == name
+
+    def test_identifier_safe(self):
+        m = mangle_text("Stack<int>::operator[](unsigned long) const")
+        assert m.isidentifier()
+
+    def test_distinct_names_distinct(self):
+        assert mangle_text("f(int)") != mangle_text("f(double)")
+
+    def test_underscore_escaped(self):
+        # "_" must not collide with text that spells an escape sequence
+        assert mangle_text("a_") != mangle_text("a_x5f")
+        assert demangle_hint(mangle_text("a_")) == "a_"
+        assert demangle_hint(mangle_text("a_x5f")) == "a_x5f"
+
+    def test_routine_mangling_includes_signature(self, stack_pdb):
+        pushes = [r for r in stack_pdb.getRoutineVec() if r.name() == "push"]
+        isEmpties = [r for r in stack_pdb.getRoutineVec() if r.name() == "isEmpty"]
+        assert mangle_routine(pushes[0]) != mangle_routine(isEmpties[0])
+
+    def test_overloads_mangle_distinct(self):
+        pdb = PDB(analyze(compile_source("void f(int);\nvoid f(double);\n")))
+        fs = [r for r in pdb.getRoutineVec() if r.name() == "f"]
+        assert mangle_routine(fs[0]) != mangle_routine(fs[1])
+
+
+class TestGenerator:
+    def test_classes_bound(self, stack_pdb):
+        bs = generate_bindings(stack_pdb, skip_files=("/pdt/include/",))
+        names = {c.python_name for c in bs.classes}
+        assert "Stack_int" in names
+
+    def test_skip_files(self, stack_pdb):
+        bs = generate_bindings(stack_pdb, skip_files=("/pdt/include/",))
+        assert not any("vector" in c.python_name for c in bs.classes)
+
+    def test_private_members_excluded(self):
+        pdb = PDB(
+            analyze(
+                compile_source(
+                    "class C { public: void pub(); private: void priv(); };"
+                )
+            )
+        )
+        bs = generate_bindings(pdb)
+        cb = next(c for c in bs.classes if c.python_name == "C")
+        names = {m.python_name for m in cb.methods}
+        assert "pub" in names and "priv" not in names
+
+    def test_destructors_excluded(self, stack_pdb):
+        bs = generate_bindings(stack_pdb)
+        for cb in bs.classes:
+            assert all("~" not in m.routine.name() for m in cb.methods)
+
+    def test_operator_mapping(self):
+        pdb = PDB(
+            analyze(
+                compile_source(
+                    "class A { public: int operator[](int i); bool operator==(const A& o); };"
+                )
+            )
+        )
+        bs = generate_bindings(pdb)
+        cb = next(c for c in bs.classes if c.python_name == "A")
+        names = {m.python_name for m in cb.methods}
+        assert "__getitem__" in names and "__eq__" in names
+
+    def test_overload_suffixing(self):
+        pdb = PDB(
+            analyze(compile_source("class C { public: void f(int); void f(double); };"))
+        )
+        bs = generate_bindings(pdb)
+        cb = next(c for c in bs.classes if c.python_name == "C")
+        names = sorted(m.python_name for m in cb.methods)
+        assert names == ["f", "f_2"]
+
+    def test_wrapper_source_is_valid_python(self, stack_pdb):
+        bs = generate_bindings(stack_pdb)
+        compile(bs.wrapper_source, "<wrapper>", "exec")
+
+    def test_bridging_source_registers_everything(self, stack_pdb):
+        bs = generate_bindings(stack_pdb, skip_files=("/pdt/include/",))
+        for rb in bs.all_routine_bindings():
+            assert rb.mangled in bs.bridging_source
+        assert "siloon_register_all" in bs.bridging_source
+
+    def test_class_selection(self, stack_pdb):
+        bs = generate_bindings(stack_pdb, class_names=["Stack<int>"])
+        assert len(bs.classes) == 1
+        assert not bs.functions
+
+
+class TestPaperFeatureList:
+    """Section 4.2's list of C++ complexities SILOON handles via PDT."""
+
+    def test_templated_classes_and_functions(self, stack_pdb):
+        bs = generate_bindings(stack_pdb)
+        assert any("<" in c.cls.name() for c in bs.classes)
+
+    def test_virtual_and_static_members(self):
+        src = (
+            "class C { public: virtual void v(); static int s(); };\n"
+        )
+        pdb = PDB(analyze(compile_source(src)))
+        bs = generate_bindings(pdb)
+        cb = next(c for c in bs.classes if c.python_name == "C")
+        statics = [m for m in cb.methods if m.routine.isStatic()]
+        virtuals = [m for m in cb.methods if m.routine.isVirtual()]
+        assert statics and virtuals
+        assert "@staticmethod" in bs.wrapper_source
+
+    def test_constructors(self, stack_pdb):
+        bs = generate_bindings(stack_pdb, class_names=["Stack<int>"])
+        assert bs.classes[0].constructors
+
+    def test_overloaded_operators_and_functions(self):
+        src = (
+            "class A { public: int operator+(const A& o); };\n"
+            "void f(int);\nvoid f(double);\n"
+        )
+        pdb = PDB(analyze(compile_source(src)))
+        bs = generate_bindings(pdb)
+        assert any(m.python_name == "__add__" for c in bs.classes for m in c.methods)
+        f_names = {fn.python_name for fn in bs.functions if fn.routine.name() == "f"}
+        assert len(f_names) == 2
+
+    def test_default_arguments(self):
+        src = "class C { public: void f(int a, int b = 1); };"
+        pdb = PDB(analyze(compile_source(src)))
+        bs = generate_bindings(pdb)
+        bridge = Bridge(pdb)
+        bs.register_all(bridge)
+        rb = bs.classes[0].methods[0]
+        assert bridge.lookup(rb.mangled).required_params == 1
+
+    def test_references_and_enums_and_typedefs(self):
+        src = (
+            "enum Mode { FAST, SLOW };\n"
+            "typedef unsigned long size_type;\n"
+            "class C { public: void setRef(const int& v); size_type size() const; };\n"
+        )
+        pdb = PDB(analyze(compile_source(src)))
+        bs = generate_bindings(pdb)
+        cb = next(c for c in bs.classes if c.python_name == "C")
+        assert {m.python_name for m in cb.methods} == {"setRef", "size"}
+
+    def test_stl_containers(self, stack_pdb):
+        bs = generate_bindings(stack_pdb)  # includes mini-STL classes
+        assert any(c.cls.name() == "vector<int>" for c in bs.classes)
+
+
+class TestBridge:
+    def make(self, stack_pdb):
+        bs = generate_bindings(stack_pdb, skip_files=("/pdt/include/",))
+        bridge = Bridge(stack_pdb)
+        bs.register_all(bridge)
+        return bs, bridge
+
+    def test_end_to_end_script_call(self, stack_pdb):
+        bs, bridge = self.make(stack_pdb)
+        mod = bs.make_module(bridge)
+        s = mod["Stack_int"](16)
+        assert isinstance(s._handle, ObjectHandle)
+        s.push(1)
+        assert s.isEmpty() is False  # synthesised bool default
+        assert s.topAndPop() == 0  # synthesised int default
+        counts = bridge.call_counts()
+        assert sum(counts.values()) == 4
+
+    def test_engine_time_accumulates(self, stack_pdb):
+        bs, bridge = self.make(stack_pdb)
+        mod = bs.make_module(bridge)
+        s = mod["Stack_int"]()
+        t0 = bridge.total_engine_time()
+        s.push(1)
+        assert bridge.total_engine_time() > t0
+
+    def test_unknown_routine_raises(self, stack_pdb):
+        _, bridge = self.make(stack_pdb)
+        with pytest.raises(SiloonError, match="not registered"):
+            bridge.call("siloon_nope")
+
+    def test_too_many_args_raises(self, stack_pdb):
+        bs, bridge = self.make(stack_pdb)
+        mod = bs.make_module(bridge)
+        s = mod["Stack_int"]()
+        with pytest.raises(SiloonError, match="too many"):
+            s.push(1, 2, 3)
+
+    def test_handle_repr_names_class(self, stack_pdb):
+        bs, bridge = self.make(stack_pdb)
+        mod = bs.make_module(bridge)
+        s = mod["Stack_int"]()
+        assert "Stack<int>" in repr(s._handle)
+
+
+class TestTemplateListExtension:
+    """The paper's future-work extension: propose instantiations for
+    uninstantiated templates."""
+
+    def test_uninstantiated_template_proposed(self):
+        src = (
+            "template <class T> class Unused { public: T g(); };\n"
+            "template <class T> class Used { public: T g() { return 0; } };\n"
+            "Used<int> u;\n"
+        )
+        pdb = PDB(analyze(compile_source(src)))
+        proposals = propose_instantiations(pdb)
+        names = {te.name() for te, _ in proposals}
+        assert "Unused" in names and "Used" not in names
+
+    def test_directive_is_parseable(self):
+        src = "template <class T> class Unused { public: T g() { return 0; } };\n"
+        pdb = PDB(analyze(compile_source(src)))
+        ((te, directive),) = propose_instantiations(pdb)
+        assert directive.startswith("template class Unused<")
+        # the generated explicit instantiation actually compiles
+        tree = compile_source(src + directive + "\n")
+        inst = [c for c in tree.all_classes if c.is_instantiation]
+        assert inst and all(r.defined for r in inst[0].routines)

@@ -1,0 +1,161 @@
+"""Integration tests exercising the full mini-STL (the KAI-headers
+substitute) — paper Section 6 credits these headers with improving
+"PDT's robustness of parsing and analysis"."""
+
+import pytest
+
+from repro.cpp.instantiate import InstantiationMode
+from repro.workloads.stl import KAI_INCLUDE_DIR, stl_files
+from tests.util import compile_source
+
+SRC = """\
+#include <vector.h>
+#include <list.h>
+#include <pair.h>
+#include <algorithm.h>
+#include <string.h>
+#include <iostream.h>
+
+int sum_vector() {
+    vector<int> v;
+    for (int i = 0; i < 8; i++)
+        v.push_back(i);
+    int total = 0;
+    for (unsigned long j = 0; j < v.size(); j++)
+        total = total + v[j];
+    v.clear();
+    return total;
+}
+
+double drain_list() {
+    list<double> q;
+    q.push_back(1.5);
+    q.push_back(2.5);
+    double front = q.front();
+    q.pop_front();
+    return front;
+}
+
+pair<int, double> bundle() {
+    return make_pair(3, 4.5);
+}
+
+int algorithms() {
+    int a = 3, b = 9;
+    swap(a, b);
+    return mymax_check(a, b);
+}
+
+int mymax_check(int a, int b) {
+    return max(a, b) + min(a, b);
+}
+
+bool compare_strings(const string& s, const string& t) {
+    if (s == t)
+        return true;
+    return s < t;
+}
+
+int main() {
+    int v = sum_vector();
+    double d = drain_list();
+    pair<int, double> p = bundle();
+    cout << v << endl;
+    cout << d << endl;
+    return algorithms();
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def tree():
+    # mymax_check used before definition: declare it first
+    src = "int mymax_check(int a, int b);\n" + SRC
+    return compile_source(src, files=stl_files(), include_paths=[KAI_INCLUDE_DIR])
+
+
+class TestContainers:
+    def test_vector_int(self, tree):
+        cls = tree.find_class("vector<int>")
+        assert cls is not None
+        used = {r.name for r in cls.routines if r.defined}
+        assert {"push_back", "size", "operator[]", "clear", "~vector"} <= used
+
+    def test_push_back_grows_via_reserve(self, tree):
+        cls = tree.find_class("vector<int>")
+        pb = next(r for r in cls.routines if r.name == "push_back")
+        assert any(c.callee.name == "reserve" for c in pb.calls)
+
+    def test_list_double(self, tree):
+        cls = tree.find_class("list<double>")
+        assert cls is not None
+        used = {r.name for r in cls.routines if r.defined}
+        assert {"push_back", "front", "pop_front"} <= used
+
+    def test_list_inner_node_instantiated(self, tree):
+        cls = tree.find_class("list<double>")
+        inner = [c.name for c in cls.inner_classes]
+        assert "node" in inner
+        node = cls.inner_classes[0]
+        assert {f.name for f in node.fields} == {"value", "next", "prev"}
+
+    def test_list_dtor_chain(self, tree):
+        cls = tree.find_class("list<double>")
+        dtor = cls.destructor()
+        assert dtor.defined
+        assert any(c.callee.name == "clear" for c in dtor.calls)
+        clear = next(r for r in cls.routines if r.name == "clear")
+        callees = {c.callee.name for c in clear.calls}
+        assert {"empty", "pop_front"} <= callees
+
+
+class TestPairAndAlgorithms:
+    def test_pair_instantiation(self, tree):
+        cls = tree.find_class("pair<int, double>")
+        assert cls is not None
+        assert [f.type.spelling() for f in cls.fields] == ["int", "double"]
+
+    def test_make_pair_deduction(self, tree):
+        mp = [r for r in tree.all_routines if r.name == "make_pair" and r.is_instantiation]
+        assert mp
+        assert mp[0].signature.return_type.spelling() == "pair<int, double>"
+
+    def test_swap_instantiated(self, tree):
+        sw = [r for r in tree.all_routines if r.name == "swap" and r.is_instantiation]
+        assert sw and sw[0].template_args[0].spelling() == "int"
+
+    def test_max_min(self, tree):
+        check = tree.find_routine("mymax_check")
+        callees = {c.callee.name for c in check.calls}
+        assert {"max", "min"} <= callees
+
+
+class TestStringAndStreams:
+    def test_string_operators(self, tree):
+        cmp = tree.find_routine("compare_strings")
+        callees = {c.callee.name for c in cmp.calls}
+        assert {"operator==", "operator<"} <= callees
+
+    def test_stream_output(self, tree):
+        main = tree.find_routine("main")
+        shifts = [c for c in main.calls if c.callee.name == "operator<<"]
+        assert len(shifts) >= 4
+
+
+class TestWholeCorpusPdb:
+    def test_pdb_valid(self, tree):
+        from repro.analyzer import analyze
+        from repro.ductape.pdb import PDB
+        from repro.tools.pdbconv import check_pdb
+
+        pdb = PDB(analyze(tree))
+        assert check_pdb(pdb) == []
+
+    def test_all_mode_also_compiles(self):
+        src = "int mymax_check(int a, int b);\n" + SRC
+        tree = compile_source(
+            src, files=stl_files(), include_paths=[KAI_INCLUDE_DIR],
+            mode=InstantiationMode.ALL,
+        )
+        cls = tree.find_class("vector<int>")
+        assert all(r.defined for r in cls.routines)

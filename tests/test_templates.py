@@ -1,0 +1,342 @@
+"""Template machinery tests: definition, instantiation, specialization."""
+
+import pytest
+
+from repro.cpp.il import TemplateKind
+from repro.cpp.instantiate import InstantiationMode
+from tests.util import compile_source
+
+BOX = (
+    "template <class T>\n"
+    "class Box {\n"
+    "public:\n"
+    "    Box() : value_(0) { }\n"
+    "    T get() const { return value_; }\n"
+    "    void set(const T& v) { value_ = v; }\n"
+    "    void unused_member() { int x = 1; }\n"
+    "private:\n"
+    "    T value_;\n"
+    "};\n"
+)
+
+
+class TestClassTemplateDefinition:
+    def test_template_registered(self):
+        tree = compile_source(BOX)
+        te = tree.find_template("Box")
+        assert te is not None
+        assert te.kind is TemplateKind.CLASS
+        assert te.param_names() == ["T"]
+
+    def test_template_text_captured(self):
+        tree = compile_source(BOX)
+        te = tree.find_template("Box")
+        assert te.text.startswith("template <class T>")
+        assert "class Box" in te.text
+
+    def test_no_instantiation_without_use(self):
+        tree = compile_source(BOX)
+        assert not [c for c in tree.all_classes if c.is_instantiation]
+
+    def test_pattern_not_in_registries(self):
+        tree = compile_source(BOX)
+        assert tree.find_class("Box") is None
+
+    def test_multi_param_template(self):
+        tree = compile_source(
+            "template <class K, class V> class Map { K key; V value; };\n"
+            "Map<int, double> m;"
+        )
+        cls = tree.find_class("Map<int, double>")
+        assert cls is not None
+        assert [f.type.spelling() for f in cls.fields] == ["int", "double"]
+
+    def test_nontype_parameter(self):
+        tree = compile_source(
+            "template <class T, int N> class Arr { T data[N]; };\n"
+            "Arr<double, 16> a;\nArr<double, 32> b;"
+        )
+        names = {c.name for c in tree.all_classes if c.is_instantiation}
+        assert names == {"Arr<double, 16>", "Arr<double, 32>"}
+
+    def test_default_template_argument(self):
+        tree = compile_source(
+            "template <class T, class U = T> class Pair2 { T a; U b; };\n"
+            "Pair2<int> p;"
+        )
+        cls = next(c for c in tree.all_classes if c.is_instantiation)
+        assert cls.name == "Pair2<int, int>"
+
+
+class TestClassTemplateInstantiation:
+    def test_instantiation_on_variable_declaration(self):
+        tree = compile_source(BOX + "void f() { Box<int> b; }")
+        assert tree.find_class("Box<int>") is not None
+
+    def test_distinct_args_distinct_instantiations(self):
+        tree = compile_source(BOX + "void f() { Box<int> a; Box<double> b; }")
+        assert tree.find_class("Box<int>") is not None
+        assert tree.find_class("Box<double>") is not None
+
+    def test_same_args_shared_instantiation(self):
+        tree = compile_source(BOX + "void f() { Box<int> a; }\nvoid g() { Box<int> b; }")
+        boxes = [c for c in tree.all_classes if c.name == "Box<int>"]
+        assert len(boxes) == 1
+
+    def test_member_types_substituted(self):
+        tree = compile_source(BOX + "Box<double> b;")
+        cls = tree.find_class("Box<double>")
+        assert cls.fields[0].type.spelling() == "double"
+        get = next(r for r in cls.routines if r.name == "get")
+        assert get.signature.return_type.spelling() == "double"
+
+    def test_used_mode_laziness(self):
+        tree = compile_source(BOX + "void f() { Box<int> b; b.set(1); }")
+        cls = tree.find_class("Box<int>")
+        by_name = {r.name.split("<")[0]: r for r in cls.routines}
+        assert by_name["set"].defined
+        assert by_name["Box"].defined  # ctor used by declaration
+        assert not by_name["unused_member"].defined
+        assert not by_name["get"].defined
+
+    def test_transitive_use(self):
+        src = (
+            "template <class T> class Chain {\n"
+            "public:\n"
+            "    T outer() { return inner(); }\n"
+            "    T inner() { return leaf(); }\n"
+            "    T leaf() { return 0; }\n"
+            "};\n"
+            "int f() { Chain<int> c; return c.outer(); }\n"
+        )
+        tree = compile_source(src)
+        cls = tree.find_class("Chain<int>")
+        assert all(r.defined for r in cls.routines if r.name in ("outer", "inner", "leaf"))
+
+    def test_all_mode_instantiates_members(self):
+        tree = compile_source(
+            BOX + "void f() { Box<int> b; }", mode=InstantiationMode.ALL
+        )
+        cls = tree.find_class("Box<int>")
+        assert all(r.defined for r in cls.routines)
+
+    def test_instantiation_positions_inside_template(self):
+        tree = compile_source(BOX + "Box<int> b;")
+        cls = tree.find_class("Box<int>")
+        te = tree.find_template("Box")
+        assert cls.location.file is te.location.file
+        assert te.position.header.begin.line <= cls.location.line <= te.position.body.end.line
+
+    def test_pointer_to_instantiation(self):
+        tree = compile_source(BOX + "Box<int>* p;")
+        assert tree.find_class("Box<int>") is not None
+
+    def test_nested_template_args(self):
+        tree = compile_source(BOX + "Box< Box<int> > nested;")
+        assert tree.find_class("Box<Box<int>>") is not None
+
+    def test_recursive_self_reference(self):
+        src = (
+            "template <class T> class Node {\n"
+            "public:\n"
+            "    T value;\n"
+            "    Node<T>* next;\n"
+            "};\n"
+            "Node<int> n;"
+        )
+        tree = compile_source(src)
+        cls = tree.find_class("Node<int>")
+        assert cls.fields[1].type.spelling() == "Node<int> *"
+
+    def test_explicit_instantiation_instantiates_all(self):
+        tree = compile_source(BOX + "template class Box<char>;")
+        cls = tree.find_class("Box<char>")
+        assert cls is not None
+        assert all(r.defined for r in cls.routines)
+
+
+class TestOutOfLineMemberTemplates:
+    SRC = (
+        "template <class T>\n"
+        "class Holder {\n"
+        "public:\n"
+        "    Holder(int n);\n"
+        "    T fetch() const;\n"
+        "    static int census();\n"
+        "private:\n"
+        "    T item_;\n"
+        "};\n"
+        "\n"
+        "template <class T>\n"
+        "Holder<T>::Holder(int n) : item_(0) {\n"
+        "}\n"
+        "\n"
+        "template <class T>\n"
+        "T Holder<T>::fetch() const {\n"
+        "    return item_;\n"
+        "}\n"
+        "\n"
+        "template <class T>\n"
+        "int Holder<T>::census() {\n"
+        "    return 0;\n"
+        "}\n"
+    )
+
+    def test_memfunc_template_kinds(self):
+        tree = compile_source(self.SRC)
+        kinds = {
+            t.name: t.kind for t in tree.all_templates if t.owner_class_template
+        }
+        assert kinds["Holder"] is TemplateKind.MEMBER_FUNCTION
+        assert kinds["fetch"] is TemplateKind.MEMBER_FUNCTION
+        assert kinds["census"] is TemplateKind.STATIC_MEMBER
+
+    def test_body_from_out_of_line_definition(self):
+        tree = compile_source(self.SRC + "int f() { Holder<int> h(1); return h.fetch(); }")
+        cls = tree.find_class("Holder<int>")
+        fetch = next(r for r in cls.routines if r.name == "fetch")
+        assert fetch.defined
+        assert fetch.template_of is not None
+        assert fetch.template_of.name == "fetch"
+
+    def test_instantiated_member_location_at_definition(self):
+        tree = compile_source(self.SRC + "int f() { Holder<int> h(1); return h.fetch(); }")
+        cls = tree.find_class("Holder<int>")
+        fetch = next(r for r in cls.routines if r.name == "fetch")
+        assert fetch.location.line == 16  # the out-of-line definition
+
+    def test_ctor_instantiated_via_out_of_line_template(self):
+        tree = compile_source(self.SRC + "void f() { Holder<double> h(2); }")
+        cls = tree.find_class("Holder<double>")
+        ctor = cls.constructors()[0]
+        assert ctor.defined
+
+
+class TestFunctionTemplates:
+    MAXT = (
+        "template <class T>\n"
+        "const T& mymax(const T& a, const T& b) {\n"
+        "    if (a < b) return b;\n"
+        "    return a;\n"
+        "}\n"
+    )
+
+    def test_registered(self):
+        tree = compile_source(self.MAXT)
+        te = tree.find_template("mymax")
+        assert te.kind is TemplateKind.FUNCTION
+
+    def test_deduction_from_args(self):
+        tree = compile_source(self.MAXT + "int f() { return mymax(1, 2); }")
+        inst = [r for r in tree.all_routines if r.name == "mymax" and r.is_instantiation]
+        assert len(inst) == 1
+        assert inst[0].signature.spelling() == "const int & (const int &, const int &)"
+
+    def test_distinct_deductions(self):
+        tree = compile_source(
+            self.MAXT + "void f() { mymax(1, 2); mymax(1.0, 2.0); }"
+        )
+        inst = [r for r in tree.all_routines if r.name == "mymax" and r.is_instantiation]
+        types = {r.template_args[0].spelling() for r in inst}
+        assert types == {"int", "double"}
+
+    def test_cached_instantiation(self):
+        tree = compile_source(self.MAXT + "void f() { mymax(1, 2); mymax(3, 4); }")
+        inst = [r for r in tree.all_routines if r.name == "mymax" and r.is_instantiation]
+        assert len(inst) == 1
+
+    def test_explicit_template_args(self):
+        tree = compile_source(self.MAXT + "double f() { return mymax<double>(1, 2); }")
+        inst = [r for r in tree.all_routines if r.name == "mymax" and r.is_instantiation]
+        assert inst[0].template_args[0].spelling() == "double"
+
+    def test_call_recorded_to_instantiation(self):
+        tree = compile_source(self.MAXT + "int f() { return mymax(1, 2); }")
+        f = tree.find_routine("f")
+        assert any(c.callee.name == "mymax" and c.callee.is_instantiation for c in f.calls)
+
+    def test_deduction_through_class_template(self):
+        src = (
+            "template <class T> class Vec { public: int size() const { return 0; } };\n"
+            "template <class T> T total(const Vec<T>& v) { return 0; }\n"
+            "double f() { Vec<double> v; return total(v); }\n"
+        )
+        tree = compile_source(src)
+        inst = [r for r in tree.all_routines if r.name == "total" and r.is_instantiation]
+        assert inst and inst[0].template_args[0].spelling() == "double"
+
+    def test_template_body_calls_recorded_per_instantiation(self):
+        src = (
+            "int work(int x) { return x; }\n"
+            "template <class T> T wrap(const T& v) { return work(1); }\n"
+            "void f() { wrap(2); }\n"
+        )
+        tree = compile_source(src)
+        inst = next(r for r in tree.all_routines if r.name == "wrap" and r.is_instantiation)
+        assert [c.callee.name for c in inst.calls] == ["work"]
+
+
+class TestSpecializations:
+    def test_explicit_specialization_selected(self):
+        src = (
+            BOX
+            + "template <> class Box<char> {\n"
+            "public:\n"
+            "    char get() const { return 'c'; }\n"
+            "};\n"
+            "void f() { Box<char> b; Box<int> i; }\n"
+        )
+        tree = compile_source(src)
+        spec = tree.find_class("Box<char>")
+        assert spec.is_specialization
+        assert [r.name for r in spec.routines] == ["get"]
+        # the primary instantiation is unaffected
+        assert not tree.find_class("Box<int>").is_specialization
+
+    def test_specialization_not_a_template_item(self):
+        src = BOX + "template <> class Box<char> { public: int z; };\n"
+        tree = compile_source(src)
+        assert len([t for t in tree.all_templates if t.name == "Box"]) == 1
+
+    def test_partial_specialization_for_pointers(self):
+        src = (
+            BOX
+            + "template <class T> class Box<T*> {\n"
+            "public:\n"
+            "    bool is_pointer() const { return true; }\n"
+            "};\n"
+            "void f() { Box<int*> p; Box<int> v; }\n"
+        )
+        tree = compile_source(src)
+        ptr_box = tree.find_class("Box<int *>")
+        assert ptr_box is not None
+        assert any(r.name == "is_pointer" for r in ptr_box.routines)
+        assert any(r.name == "get" for r in tree.find_class("Box<int>").routines)
+
+    def test_partial_specialization_registered_as_template(self):
+        src = BOX + "template <class T> class Box<T*> { public: int q; };\n"
+        tree = compile_source(src)
+        boxes = [t for t in tree.all_templates if t.name == "Box"]
+        assert len(boxes) == 2
+        assert sum(1 for t in boxes if t.is_specialization) == 1
+
+
+class TestPrelinkMode:
+    def test_instantiations_invisible(self):
+        tree = compile_source(
+            BOX + "void f() { Box<int> b; b.set(3); }",
+            mode=InstantiationMode.PRELINK,
+        )
+        cls = tree.find_class("Box<int>")
+        assert cls is not None  # exists for type checking...
+        assert cls.flags.get("il_visible") is False  # ...but not in the IL
+
+    def test_requests_logged(self):
+        from repro.cpp import Frontend, FrontendOptions
+        from repro.cpp.instantiate import InstantiationMode as IM
+
+        fe = Frontend(FrontendOptions(instantiation_mode=IM.PRELINK))
+        fe.register_files({"main.cpp": BOX + "void f() { Box<int> b; }"})
+        fe.compile("main.cpp")
+        reqs = fe.last_engine.prelink_requests
+        assert ("Box", ("int",)) in [(n, a) for (n, a, _loc) in reqs]

@@ -1,0 +1,170 @@
+"""Type system unit tests: interning, spellings, substitution."""
+
+from repro.cpp.cpptypes import (
+    ArrayType,
+    FunctionType,
+    PointerType,
+    QualifiedType,
+    ReferenceType,
+    TypeTable,
+)
+
+
+class TestInterning:
+    def test_builtin_identity(self):
+        tt = TypeTable()
+        assert tt.builtin("int") is tt.builtin("int")
+
+    def test_pointer_identity(self):
+        tt = TypeTable()
+        assert tt.pointer_to(tt.int_) is tt.pointer_to(tt.int_)
+
+    def test_distinct_pointers(self):
+        tt = TypeTable()
+        assert tt.pointer_to(tt.int_) is not tt.pointer_to(tt.double)
+
+    def test_function_identity(self):
+        tt = TypeTable()
+        f1 = tt.function(tt.void, [tt.int_], const=True)
+        f2 = tt.function(tt.void, [tt.int_], const=True)
+        assert f1 is f2
+
+    def test_function_const_distinguishes(self):
+        tt = TypeTable()
+        assert tt.function(tt.void, []) is not tt.function(tt.void, [], const=True)
+
+    def test_creation_order_recorded(self):
+        tt = TypeTable()
+        a = tt.builtin("int")
+        b = tt.pointer_to(a)
+        assert tt.all_types.index(a) < tt.all_types.index(b)
+
+
+class TestSpellings:
+    def test_const_ref(self):
+        tt = TypeTable()
+        t = tt.reference_to(tt.qualified(tt.int_, const=True))
+        assert t.spelling() == "const int &"
+
+    def test_function_spelling(self):
+        tt = TypeTable()
+        param = tt.reference_to(tt.qualified(tt.int_, const=True))
+        f = tt.function(tt.void, [param])
+        assert f.spelling() == "void (const int &)"
+
+    def test_const_member_function_spelling(self):
+        tt = TypeTable()
+        f = tt.function(tt.bool_, [], const=True)
+        assert f.spelling() == "bool () const"
+
+    def test_pointer_spelling(self):
+        tt = TypeTable()
+        assert tt.pointer_to(tt.int_).spelling() == "int *"
+
+    def test_array_spelling(self):
+        tt = TypeTable()
+        assert tt.array_of(tt.int_, 10).spelling() == "int [10]"
+        assert tt.array_of(tt.int_, None).spelling() == "int []"
+
+    def test_ellipsis_spelling(self):
+        tt = TypeTable()
+        f = tt.function(tt.int_, [tt.pointer_to(tt.builtin("char"))], ellipsis=True)
+        assert "..." in f.spelling()
+
+    def test_unsigned_builtins(self):
+        tt = TypeTable()
+        assert tt.builtin("unsigned long").spelling() == "unsigned long"
+        assert tt.builtin("unsigned long").yikind == "ulong"
+
+
+class TestQualifiers:
+    def test_qualified_noop(self):
+        tt = TypeTable()
+        assert tt.qualified(tt.int_) is tt.int_
+
+    def test_qualifier_merging(self):
+        tt = TypeTable()
+        c = tt.qualified(tt.int_, const=True)
+        cv = tt.qualified(c, volatile=True)
+        assert isinstance(cv, QualifiedType)
+        assert cv.const and cv.volatile
+        assert cv.base is tt.int_
+
+    def test_reference_collapsing(self):
+        tt = TypeTable()
+        r = tt.reference_to(tt.int_)
+        assert tt.reference_to(r) is r
+
+    def test_strip(self):
+        tt = TypeTable()
+        t = tt.reference_to(tt.qualified(tt.int_, const=True))
+        assert t.strip() is tt.int_
+
+    def test_ykinds(self):
+        tt = TypeTable()
+        assert tt.qualified(tt.int_, const=True).kind == "tref"
+        assert tt.reference_to(tt.int_).kind == "ref"
+        assert tt.pointer_to(tt.int_).kind == "ptr"
+        assert tt.bool_.kind == "bool"
+        assert tt.bool_.yikind == "char"  # EDG convention (paper Figure 3)
+
+
+class TestDependence:
+    def test_tparam_is_dependent(self):
+        tt = TypeTable()
+        assert tt.template_param("T", 0).is_dependent
+
+    def test_dependence_propagates(self):
+        tt = TypeTable()
+        t = tt.template_param("T", 0)
+        assert tt.pointer_to(t).is_dependent
+        assert tt.reference_to(t).is_dependent
+        assert tt.function(tt.void, [t]).is_dependent
+        assert tt.array_of(t).is_dependent
+
+    def test_concrete_not_dependent(self):
+        tt = TypeTable()
+        assert not tt.function(tt.void, [tt.int_]).is_dependent
+
+
+class TestSubstitution:
+    def test_substitute_param(self):
+        tt = TypeTable()
+        t = tt.template_param("T", 0)
+        assert tt.substitute(t, {"T": tt.int_}) is tt.int_
+
+    def test_substitute_through_structure(self):
+        tt = TypeTable()
+        t = tt.template_param("T", 0)
+        pattern = tt.reference_to(tt.qualified(t, const=True))
+        result = tt.substitute(pattern, {"T": tt.double})
+        assert result.spelling() == "const double &"
+
+    def test_substitute_function(self):
+        tt = TypeTable()
+        t = tt.template_param("T", 0)
+        f = tt.function(t, [tt.reference_to(t)], const=True)
+        r = tt.substitute(f, {"T": tt.int_})
+        assert r.spelling() == "int (int &) const"
+
+    def test_substitute_interns(self):
+        tt = TypeTable()
+        t = tt.template_param("T", 0)
+        a = tt.substitute(tt.pointer_to(t), {"T": tt.int_})
+        assert a is tt.pointer_to(tt.int_)
+
+    def test_substitute_concrete_is_identity(self):
+        tt = TypeTable()
+        f = tt.function(tt.void, [tt.int_])
+        assert tt.substitute(f, {"T": tt.double}) is f
+
+    def test_substitute_unbound_param_stays(self):
+        tt = TypeTable()
+        t = tt.template_param("T", 0)
+        assert tt.substitute(t, {}) is t
+
+    def test_nontype_arg_substitution(self):
+        tt = TypeTable()
+        n = tt.nontype_arg("N", dependent=True)
+        bound = tt.substitute(n, {"N": tt.nontype_arg("16")})
+        assert bound.spelling() == "16"

@@ -1,0 +1,48 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from repro.cpp import Frontend, FrontendOptions
+from repro.cpp.instantiate import InstantiationMode
+from repro.cpp.lexer import tokenize
+from repro.cpp.preprocessor import Preprocessor
+from repro.cpp.source import SourceFile, SourceManager
+from repro.cpp.tokens import TokenKind
+
+
+def lex(text: str):
+    """Lex a string; returns tokens without the EOF."""
+    f = SourceFile(name="test.cpp", text=text)
+    return [t for t in tokenize(f) if t.kind is not TokenKind.EOF]
+
+
+def preprocess(main: str, files: dict[str, str] | None = None, **kw):
+    """Preprocess ``main`` (with optional extra files); returns
+    (tokens-without-EOF, preprocessor)."""
+    mgr = SourceManager()
+    mgr.register_many(files or {})
+    f = mgr.register("main.cpp", main)
+    pp = Preprocessor(mgr, **kw)
+    toks = pp.preprocess(f)
+    return [t for t in toks if t.kind is not TokenKind.EOF], pp
+
+
+def compile_source(
+    main: str,
+    files: dict[str, str] | None = None,
+    mode: InstantiationMode = InstantiationMode.USED,
+    include_paths: list[str] | None = None,
+):
+    """Compile a source string as main.cpp; returns the ILTree."""
+    fe = Frontend(
+        FrontendOptions(
+            include_paths=include_paths or [], instantiation_mode=mode
+        )
+    )
+    fe.register_files(files or {})
+    fe.register_files({"main.cpp": main})
+    return fe.compile("main.cpp")
+
+
+def texts(tokens) -> list[str]:
+    return [t.text for t in tokens]
