@@ -1,14 +1,18 @@
 # Convenience targets for the PDT reproduction.
 
 PYTHON ?= python
+JOBS ?= 4
 
-.PHONY: install test bench bench-only examples figures clean
+.PHONY: install test lint bench bench-only examples figures pdb clean
 
 install:
 	$(PYTHON) -m pip install -e . || $(PYTHON) setup.py develop
 
 test:
 	$(PYTHON) -m pytest tests/
+
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
 
 bench:
 	$(PYTHON) -m pytest benchmarks/
@@ -20,6 +24,12 @@ bench-only:
 figures:
 	$(PYTHON) -m pytest benchmarks/ -s -q
 
+# parallel, incrementally-cached PDB build, e.g.:
+#   make pdb SRCS="a.cpp b.cpp" OUT=app.pdb JOBS=8
+pdb:
+	$(PYTHON) -m repro.tools.pdbbuild $(SRCS) -o $(OUT) -j $(JOBS) -v \
+		--stats-json $(OUT).stats.json
+
 examples:
 	@for ex in examples/*.py; do \
 		echo "=== $$ex ==="; \
@@ -27,5 +37,5 @@ examples:
 	done
 
 clean:
-	rm -rf .pytest_cache .hypothesis src/repro.egg-info
+	rm -rf .pytest_cache .hypothesis .ruff_cache .pdbbuild-cache src/repro.egg-info
 	find . -name __pycache__ -type d -exec rm -rf {} +

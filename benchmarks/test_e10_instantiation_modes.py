@@ -18,7 +18,6 @@ from repro.analyzer import analyze
 from repro.cpp.instantiate import InstantiationMode
 from repro.pdbfmt import write_pdb
 from repro.workloads.stack import UNUSED_MEMBERS, USED_MEMBERS, compile_stack
-from repro.workloads.synth import SynthSpec, compile_synth
 
 
 def measure(mode):

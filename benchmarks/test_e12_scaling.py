@@ -8,7 +8,6 @@ read/write round-trip throughput, and DUCTAPE load cost.
 
 import time
 
-import pytest
 
 from repro.analyzer import analyze
 from repro.cpp import Frontend, FrontendOptions

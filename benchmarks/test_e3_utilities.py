@@ -6,7 +6,6 @@ output shape of Figure 5 — including that "functions instantiated from
 templates are automatically included in the vector of called functions".
 """
 
-import pytest
 
 from repro.analyzer import analyze
 from repro.cpp import Frontend, FrontendOptions

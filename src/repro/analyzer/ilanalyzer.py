@@ -24,7 +24,7 @@ from repro.analyzer.templatematch import TemplateIndex
 from repro.cpp.cpptypes import Type
 from repro.cpp.il import Class, ILTree, Namespace, Routine, Template
 from repro.cpp.source import SourceFile, SourceLocation
-from repro.pdbfmt.items import PdbDocument, PdbLocation, RawItem
+from repro.pdbfmt.items import PdbDocument, RawItem
 
 #: pass order — one traversal per construct kind (paper Section 3.1)
 DEFAULT_PASSES = ("so", "te", "na", "cl", "ro", "ty", "ma")

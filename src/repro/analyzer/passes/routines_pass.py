@@ -8,7 +8,6 @@ virtuality."""
 
 from __future__ import annotations
 
-from repro.cpp.il import Access
 
 
 def emit_routines(an) -> None:

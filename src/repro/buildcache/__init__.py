@@ -1,0 +1,15 @@
+"""Incremental build cache for the pdbbuild driver.
+
+Caches the per-TU program database keyed by a content hash of everything
+that went into the compilation: the preprocessed translation unit's full
+dependency closure (main file plus every header the preprocessor
+consumed, wherever the ``-I`` search found it) and the frontend options
+(instantiation mode, include paths, predefined macros, analyzer passes).
+Unchanged TUs are reused without re-parsing; any edit to any consumed
+file, or any change to the options, changes the key and forces a
+recompile.
+"""
+
+from repro.buildcache.cache import BuildCache, CacheEntry, content_hash
+
+__all__ = ["BuildCache", "CacheEntry", "content_hash"]

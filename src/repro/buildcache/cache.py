@@ -1,0 +1,192 @@
+"""On-disk content-hash cache for per-TU program databases.
+
+Layout under the cache root::
+
+    manifests/<mkey>.json   dependency list of one (options, main-TU) pair
+    objects/<ckey>.pdb      cached per-TU PDB text
+    objects/<ckey>.json     metadata (item count, warning count, deps)
+
+``mkey`` identifies *what is being built* — a hash of the options
+fingerprint and the main file name.  The manifest records which files
+the preprocessor consumed the last time this TU was compiled.  ``ckey``
+identifies *the exact inputs* — a hash over the fingerprint, the main
+file name, and the (name, content-hash) pair of every consumed file, in
+consumption order.
+
+A lookup reads the manifest, hashes the *current* content of every
+recorded dependency, and probes ``objects/`` with the resulting key.
+This is the classic ccache/depfile argument: if the include structure
+changed (a header gained or lost an ``#include``), some already-recorded
+file's text must have changed, so the probe misses and the manifest is
+rewritten on store.  Changing the instantiation mode, the ``-I`` list,
+predefined macros, or the analyzer pass selection changes the
+fingerprint, which changes both keys — a guaranteed miss.
+
+Writes go through a temp file + ``os.replace`` so concurrent builds
+sharing one cache directory never observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+
+def content_hash(text: str) -> str:
+    """Content hash of one source file's text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _digest(*parts: str) -> str:
+    h = hashlib.sha256()
+    for p in parts:
+        h.update(p.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """One cached per-TU compilation."""
+
+    pdb_text: str
+    items: int = 0
+    warnings: int = 0
+    deps: list[tuple[str, str]] = field(default_factory=list)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one build."""
+
+    hits: int = 0
+    misses: int = 0
+
+
+class BuildCache:
+    """Content-addressed store of per-TU PDBs (see module docstring)."""
+
+    def __init__(self, root: str):
+        self.root = Path(root)
+        self.manifests = self.root / "manifests"
+        self.objects = self.root / "objects"
+        self.manifests.mkdir(parents=True, exist_ok=True)
+        self.objects.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # -- keys ---------------------------------------------------------
+
+    @staticmethod
+    def manifest_key(fingerprint: str, main: str) -> str:
+        return _digest("manifest", fingerprint, main)
+
+    @staticmethod
+    def object_key(
+        fingerprint: str, main: str, dep_hashes: list[tuple[str, str]]
+    ) -> str:
+        parts = ["object", fingerprint, main]
+        for name, h in dep_hashes:
+            parts.append(name)
+            parts.append(h)
+        return _digest(*parts)
+
+    # -- lookup -------------------------------------------------------
+
+    def lookup(
+        self,
+        fingerprint: str,
+        main: str,
+        read_content: Callable[[str], Optional[str]],
+    ) -> Optional[CacheEntry]:
+        """Probe the cache for ``main`` compiled under ``fingerprint``.
+
+        ``read_content`` maps a dependency name to its *current* text
+        (or None if it no longer resolves).  Returns a :class:`CacheEntry`
+        on a hit, None on a miss; counts either way in :attr:`stats`.
+        """
+        entry = self._lookup(fingerprint, main, read_content)
+        if entry is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return entry
+
+    def _lookup(
+        self,
+        fingerprint: str,
+        main: str,
+        read_content: Callable[[str], Optional[str]],
+    ) -> Optional[CacheEntry]:
+        mpath = self.manifests / (self.manifest_key(fingerprint, main) + ".json")
+        try:
+            manifest = json.loads(mpath.read_text())
+        except (OSError, ValueError):
+            return None
+        dep_hashes: list[tuple[str, str]] = []
+        for name in manifest.get("deps", []):
+            text = read_content(name)
+            if text is None:
+                return None
+            dep_hashes.append((name, content_hash(text)))
+        ckey = self.object_key(fingerprint, main, dep_hashes)
+        opath = self.objects / (ckey + ".pdb")
+        meta_path = self.objects / (ckey + ".json")
+        try:
+            pdb_text = opath.read_text()
+            meta = json.loads(meta_path.read_text())
+        except (OSError, ValueError):
+            return None
+        return CacheEntry(
+            pdb_text=pdb_text,
+            items=int(meta.get("items", 0)),
+            warnings=int(meta.get("warnings", 0)),
+            deps=dep_hashes,
+        )
+
+    # -- store --------------------------------------------------------
+
+    def store(
+        self,
+        fingerprint: str,
+        main: str,
+        dep_hashes: list[tuple[str, str]],
+        pdb_text: str,
+        items: int = 0,
+        warnings: int = 0,
+    ) -> str:
+        """Record a finished compilation; returns the object key."""
+        mpath = self.manifests / (self.manifest_key(fingerprint, main) + ".json")
+        manifest = {"main": main, "deps": [name for name, _ in dep_hashes]}
+        _atomic_write(mpath, json.dumps(manifest, indent=1))
+        ckey = self.object_key(fingerprint, main, dep_hashes)
+        meta = {
+            "main": main,
+            "items": items,
+            "warnings": warnings,
+            "deps": dep_hashes,
+        }
+        _atomic_write(self.objects / (ckey + ".pdb"), pdb_text)
+        _atomic_write(self.objects / (ckey + ".json"), json.dumps(meta, indent=1))
+        return ckey
+
+    # -- maintenance --------------------------------------------------
+
+    def entry_count(self) -> int:
+        """Number of cached per-TU PDBs."""
+        return sum(1 for _ in self.objects.glob("*.pdb"))
+
+    def clear(self) -> None:
+        """Drop every entry (the directories survive)."""
+        for d in (self.manifests, self.objects):
+            for p in d.iterdir():
+                p.unlink()
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)

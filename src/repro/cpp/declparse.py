@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.cpp.cpptypes import ClassType, FunctionType, Type
+from repro.cpp.cpptypes import FunctionType, Type
 from repro.cpp.diagnostics import CppError, DiagnosticSink
 from repro.cpp.il import (
     Access,
@@ -32,8 +32,6 @@ from repro.cpp.il import (
     ClassKind,
     Enum,
     Field,
-    ILTree,
-    ItemPosition,
     Namespace,
     Parameter,
     Routine,

@@ -30,7 +30,6 @@ from typing import Optional
 
 from repro.cpp.cpptypes import (
     ArrayType,
-    ClassType,
     FunctionType,
     PointerType,
     Type,
@@ -41,7 +40,6 @@ from repro.cpp.il import (
     Enum,
     Namespace,
     Routine,
-    RoutineKind,
     Template,
     TemplateKind,
     Typedef,

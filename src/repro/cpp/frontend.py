@@ -54,6 +54,9 @@ class Frontend:
                     self.manager.include_paths.append(p)
         self.last_sink: Optional[DiagnosticSink] = None
         self.last_engine: Optional[InstantiationEngine] = None
+        #: files the preprocessor consumed for the last ``compile`` call,
+        #: in first-use order — the hash set for pdbbuild's incremental cache
+        self.last_consumed_files: list = []
 
     def register_files(self, files: dict[str, str]) -> None:
         """Register in-memory sources (corpora, generated code)."""
@@ -69,6 +72,7 @@ class Frontend:
         predefined = {"__cplusplus": "199711", **self.options.predefined_macros}
         pp = Preprocessor(self.manager, sink, predefined)
         tokens = pp.preprocess(src)
+        self.last_consumed_files = list(pp.consumed_files)
         tree = ILTree()
         tree.main_file = src
         engine = InstantiationEngine(

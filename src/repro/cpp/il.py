@@ -20,7 +20,7 @@ exists so tests can check the reconstruction.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Optional, Union
 
 from repro.cpp.cpptypes import FunctionType, Type, TypeTable

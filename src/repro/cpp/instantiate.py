@@ -52,13 +52,11 @@ from repro.cpp.diagnostics import CppError, DiagnosticSink
 from repro.cpp.il import (
     Class,
     ILTree,
-    ItemPosition,
     Namespace,
     Routine,
     RoutineKind,
     SourceRange,
     Template,
-    TemplateKind,
 )
 from repro.cpp.scope import Binder
 from repro.cpp.source import SourceLocation

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cpp.frontend import Frontend, FrontendOptions
+from repro.cpp.frontend import Frontend
 from repro.cpp.il import ILTree
 from repro.cpp.instantiate import InstantiationMode
 

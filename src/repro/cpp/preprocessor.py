@@ -22,7 +22,7 @@ positions always point at real user source.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.cpp.diagnostics import CppError, DiagnosticSink
@@ -87,6 +87,9 @@ class Preprocessor:
         self.sink = sink or DiagnosticSink()
         self.macros: dict[str, Macro] = {}
         self.macro_records: list[MacroRecord] = []
+        #: every file whose tokens this preprocessor consumed, in first-use
+        #: order — the dependency set a build cache must hash (pdbbuild)
+        self.consumed_files: list[SourceFile] = []
         self._include_stack: list[SourceFile] = []
         self._expansion_stack: list[str] = []
         for name in ("__FILE__", "__LINE__"):
@@ -116,6 +119,8 @@ class Preprocessor:
             raise CppError(f"circular include: {cycle}")
         if len(self._include_stack) > 200:
             raise CppError(f"include depth limit exceeded at {file.name}")
+        if file not in self.consumed_files:
+            self.consumed_files.append(file)
         self._include_stack.append(file)
         try:
             toks = tokenize(file)

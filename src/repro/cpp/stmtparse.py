@@ -15,7 +15,6 @@ the named entity actually denotes a type in the current scope.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.cpp.cpptypes import (
     ClassType,

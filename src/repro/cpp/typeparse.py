@@ -13,10 +13,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.cpp.cpptypes import NonTypeArg, TemplateIdType, Type
+from repro.cpp.cpptypes import Type
 from repro.cpp.diagnostics import CppError
 from repro.cpp.il import Class, Enum, Parameter, Template, TemplateKind, Typedef
-from repro.cpp.parserbase import DECL_SPECIFIERS, ParserBase
+from repro.cpp.parserbase import ParserBase
 from repro.cpp.source import SourceLocation
 from repro.cpp.tokens import KEYWORDS, TokenKind, tokens_to_text
 

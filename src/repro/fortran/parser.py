@@ -28,7 +28,6 @@ from repro.cpp.il import (
     ClassKind,
     Field,
     ILTree,
-    ItemPosition,
     Namespace,
     Parameter,
     Routine,

@@ -9,11 +9,11 @@ then method bodies for call extraction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
-from repro.cpp.cpptypes import ClassType, Type, TypeTable
-from repro.cpp.diagnostics import CppError, DiagnosticSink
+from repro.cpp.cpptypes import Type, TypeTable
+from repro.cpp.diagnostics import DiagnosticSink
 from repro.cpp.il import (
     Access,
     Class,

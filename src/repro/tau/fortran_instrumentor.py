@@ -23,7 +23,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.ductape.items import PdbRoutine
 from repro.ductape.pdb import PDB
 
 PROFILER_DECL = "integer, dimension(2) :: tau_profiler = (/ 0, 0 /)"

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 import os
 import re
-from typing import Optional
 
 from repro.tau.runtime import Profiler, ThreadProfile
 

@@ -1,18 +1,18 @@
 """cxxparse — the front-end driver: C++ sources -> PDB file.
 
 In the real PDT distribution this is the EDG front end invoked with the
-used-instantiation option, piped into the IL Analyzer.  Here it drives
-:class:`repro.cpp.Frontend` and the analyzer."""
+used-instantiation option, piped into the IL Analyzer.  Here it routes
+through the shared :mod:`repro.tools.pdbbuild` driver with one worker
+and no cache, so compiling N sources still means N separate
+compilations ``pdbmerge``d into one database (the PDT build workflow) —
+``pdbbuild`` is the same pipeline run parallel and incremental."""
 
 from __future__ import annotations
 
 import argparse
 from typing import Optional
 
-from repro.analyzer import analyze
-from repro.cpp import Frontend, FrontendOptions
-from repro.cpp.instantiate import InstantiationMode
-from repro.pdbfmt.writer import write_pdb
+from repro.tools.pdbbuild import BuildOptions, add_mode_arguments, build, parse_passes
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -30,68 +30,24 @@ def main(argv: Optional[list[str]] = None) -> int:
     ap.add_argument(
         "-I", dest="include_paths", action="append", default=[], help="include path"
     )
-    ap.add_argument(
-        "--tused",
-        dest="mode",
-        action="store_const",
-        const=InstantiationMode.USED,
-        default=InstantiationMode.USED,
-        help="used-instantiation mode (default; the mode PDT needs)",
-    )
-    ap.add_argument(
-        "--tall",
-        dest="mode",
-        action="store_const",
-        const=InstantiationMode.ALL,
-        help="instantiate all members of instantiated templates",
-    )
-    ap.add_argument(
-        "--tauto",
-        dest="mode",
-        action="store_const",
-        const=InstantiationMode.PRELINK,
-        help="EDG automatic (prelinker) scheme: instantiations absent from the IL",
-    )
+    add_mode_arguments(ap)
     ap.add_argument(
         "--passes",
         help="comma-separated analyzer traversals to run (so,te,na,cl,ro,ty,ma) "
         "— §3.1's 'selection of the constructs to be reported'",
     )
     args = ap.parse_args(argv)
-    fe = Frontend(
-        FrontendOptions(include_paths=args.include_paths, instantiation_mode=args.mode)
+    options = BuildOptions(
+        include_paths=tuple(args.include_paths),
+        instantiation_mode=args.mode,
+        passes=parse_passes(ap, args.passes),
     )
-    if args.passes:
-        from repro.analyzer.ilanalyzer import DEFAULT_PASSES
-
-        selected = tuple(p.strip() for p in args.passes.split(",") if p.strip())
-        unknown = set(selected) - set(DEFAULT_PASSES)
-        if unknown:
-            ap.error(f"unknown passes: {', '.join(sorted(unknown))}")
-        passes = selected
-    else:
-        passes = None
-    warnings = 0
-    docs = []
-    for source in args.source:
-        tree = fe.compile(source)
-        docs.append(analyze(tree, passes=passes) if passes else analyze(tree))
-        if fe.last_sink is not None:
-            warnings += fe.last_sink.warning_count
-    if len(docs) == 1:
-        doc = docs[0]
-    else:
-        from repro.ductape.pdb import PDB
-        from repro.tools.pdbmerge import merge_pdbs
-
-        merged, _stats = merge_pdbs([PDB(d) for d in docs])
-        doc = merged.doc
+    merged, stats = build(args.source, options)
     out = args.output or (args.source[0].rsplit(".", 1)[0] + ".pdb")
-    with open(out, "w") as f:
-        f.write(write_pdb(doc))
-    print(f"{out}: {len(doc.items)} items")
-    if warnings:
-        print(f"{warnings} warning(s)")
+    merged.write(out)
+    print(f"{out}: {stats.output_items} items")
+    if stats.warnings:
+        print(f"{stats.warnings} warning(s)")
     return 0
 
 

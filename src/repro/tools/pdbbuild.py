@@ -1,0 +1,368 @@
+"""pdbbuild — parallel, incrementally-cached multi-TU PDB build driver.
+
+The paper's PDT workflow compiles each translation unit separately and
+``pdbmerge``s the per-TU databases into one program database (Table 2).
+This driver runs that pipeline as a build system would:
+
+* per-TU compilation (``Frontend`` + IL Analyzer + PDB writer) fans out
+  across worker processes (``-j N``),
+* an on-disk cache keyed by a content hash of the TU's full preprocessed
+  dependency closure plus the frontend options skips unchanged TUs
+  (:mod:`repro.buildcache`),
+* the per-TU databases are merged in *source order* regardless of worker
+  completion order, so the output is byte-identical to the serial
+  ``cxxparse``-per-TU + ``pdbmerge`` pipeline,
+* ``--stats-json`` emits a machine-readable per-phase report (schema
+  documented in docs/FORMAT.md).
+
+``cxxparse`` routes through :func:`build` with one worker and no cache,
+so single-TU behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.buildcache import BuildCache, content_hash
+from repro.cpp import Frontend, FrontendOptions
+from repro.cpp.instantiate import InstantiationMode
+from repro.ductape.pdb import PDB, MergeStats
+from repro.pdbfmt.writer import write_pdb
+
+#: bump when the PDB output of a compilation changes incompatibly, so
+#: stale caches from older code can never be reused
+CACHE_FORMAT = "pdbbuild-cache/1"
+
+#: schema tag emitted in --stats-json reports
+STATS_SCHEMA = "pdbbuild-stats/1"
+
+
+@dataclass(frozen=True)
+class BuildOptions:
+    """Everything that affects a TU's compilation (hence its cache key)."""
+
+    include_paths: tuple[str, ...] = ()
+    instantiation_mode: InstantiationMode = InstantiationMode.USED
+    predefined_macros: tuple[tuple[str, str], ...] = ()
+    passes: Optional[tuple[str, ...]] = None
+
+    def fingerprint(self) -> str:
+        """Stable hash of the options, part of every cache key."""
+        blob = json.dumps(
+            {
+                "format": CACHE_FORMAT,
+                "include_paths": list(self.include_paths),
+                "mode": self.instantiation_mode.value,
+                "predefined": sorted(self.predefined_macros),
+                "passes": list(self.passes) if self.passes is not None else None,
+            },
+            sort_keys=True,
+        )
+        return content_hash(blob)
+
+    def frontend_options(self) -> FrontendOptions:
+        return FrontendOptions(
+            include_paths=list(self.include_paths),
+            instantiation_mode=self.instantiation_mode,
+            predefined_macros=dict(self.predefined_macros),
+        )
+
+
+@dataclass
+class TUReport:
+    """Per-TU observability record (one row of the --stats-json report)."""
+
+    source: str
+    cache_hit: bool
+    wall_s: float
+    items: int
+    warnings: int
+
+
+@dataclass
+class BuildStats:
+    """Whole-build observability: per-TU rows plus merge aggregates."""
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+    tus: list[TUReport] = field(default_factory=list)
+    merge: MergeStats = field(default_factory=MergeStats)
+    merge_wall_s: float = 0.0
+    total_wall_s: float = 0.0
+    output_items: int = 0
+    warnings: int = 0
+
+    def to_dict(self) -> dict:
+        """The --stats-json document (schema: ``pdbbuild-stats/1``)."""
+        return {
+            "schema": STATS_SCHEMA,
+            "jobs": self.jobs,
+            "sources": [t.source for t in self.tus],
+            "cache": {
+                "dir": self.cache_dir,
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+            },
+            "tus": [asdict(t) for t in self.tus],
+            "merge": {"wall_s": self.merge_wall_s, **asdict(self.merge)},
+            "output_items": self.output_items,
+            "warnings": self.warnings,
+            "total_wall_s": self.total_wall_s,
+        }
+
+
+@dataclass
+class _TUOutput:
+    """What one compilation (in-process or worker) hands back."""
+
+    source: str
+    pdb_text: str
+    dep_hashes: list[tuple[str, str]]
+    items: int
+    warnings: int
+    wall_s: float
+
+
+def _compile_tu(
+    source: str,
+    options: BuildOptions,
+    files: Optional[dict[str, str]],
+) -> _TUOutput:
+    """Compile one TU to PDB text.  Top-level so worker processes can
+    unpickle it; everything it needs travels as plain data."""
+    from repro.analyzer import analyze
+
+    start = time.perf_counter()
+    fe = Frontend(options.frontend_options())
+    if files:
+        fe.register_files(files)
+    tree = fe.compile(source)
+    doc = analyze(tree, passes=options.passes) if options.passes else analyze(tree)
+    text = write_pdb(doc)
+    deps = [(f.name, content_hash(f.text)) for f in fe.last_consumed_files]
+    warnings = fe.last_sink.warning_count if fe.last_sink is not None else 0
+    return _TUOutput(
+        source=source,
+        pdb_text=text,
+        dep_hashes=deps,
+        items=len(doc.items),
+        warnings=warnings,
+        wall_s=time.perf_counter() - start,
+    )
+
+
+def build(
+    sources: list[str],
+    options: Optional[BuildOptions] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    files: Optional[dict[str, str]] = None,
+) -> tuple[PDB, BuildStats]:
+    """Compile ``sources`` and merge them into one PDB.
+
+    ``jobs`` > 1 fans the per-TU compilations across worker processes;
+    merge order always follows ``sources`` order, so the result is
+    deterministic.  ``cache_dir`` enables the incremental cache.
+    ``files`` supplies an in-memory corpus (name -> text), the same shape
+    :meth:`Frontend.register_files` takes.
+    """
+    t0 = time.perf_counter()
+    options = options or BuildOptions()
+    stats = BuildStats(jobs=jobs, cache_dir=cache_dir)
+    cache = BuildCache(cache_dir) if cache_dir else None
+    fingerprint = options.fingerprint()
+
+    def read_content(name: str) -> Optional[str]:
+        if files and name in files:
+            return files[name]
+        try:
+            return Path(name).read_text()
+        except OSError:
+            return None
+
+    outputs: dict[int, _TUOutput] = {}
+    hits: dict[int, bool] = {}
+    to_compile: list[tuple[int, str]] = []
+    for i, source in enumerate(sources):
+        entry = cache.lookup(fingerprint, source, read_content) if cache else None
+        if entry is not None:
+            outputs[i] = _TUOutput(
+                source=source,
+                pdb_text=entry.pdb_text,
+                dep_hashes=entry.deps,
+                items=entry.items,
+                warnings=entry.warnings,
+                wall_s=0.0,
+            )
+            hits[i] = True
+        else:
+            to_compile.append((i, source))
+            hits[i] = False
+
+    if len(to_compile) > 1 and jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                i: pool.submit(_compile_tu, source, options, files)
+                for i, source in to_compile
+            }
+            for i, fut in futures.items():
+                outputs[i] = fut.result()
+    else:
+        for i, source in to_compile:
+            outputs[i] = _compile_tu(source, options, files)
+
+    for i, _ in to_compile:
+        out = outputs[i]
+        if cache:
+            cache.store(
+                fingerprint,
+                out.source,
+                out.dep_hashes,
+                out.pdb_text,
+                items=out.items,
+                warnings=out.warnings,
+            )
+
+    for i in range(len(sources)):
+        out = outputs[i]
+        stats.tus.append(
+            TUReport(
+                source=out.source,
+                cache_hit=hits[i],
+                wall_s=out.wall_s,
+                items=out.items,
+                warnings=out.warnings,
+            )
+        )
+        stats.warnings += out.warnings
+    if cache:
+        stats.cache_hits = cache.stats.hits
+        stats.cache_misses = cache.stats.misses
+
+    tm = time.perf_counter()
+    from repro.tools.pdbmerge import merge_pdbs
+
+    pdbs = [PDB.from_text(outputs[i].pdb_text) for i in range(len(sources))]
+    merged, merge_stats = merge_pdbs(pdbs)
+    stats.merge_wall_s = time.perf_counter() - tm
+    for ms in merge_stats:
+        stats.merge.items_in += ms.items_in
+        stats.merge.items_added += ms.items_added
+        stats.merge.duplicates_eliminated += ms.duplicates_eliminated
+        stats.merge.duplicate_instantiations += ms.duplicate_instantiations
+    stats.output_items = len(merged.doc.items)
+    stats.total_wall_s = time.perf_counter() - t0
+    return merged, stats
+
+
+def add_mode_arguments(ap: argparse.ArgumentParser) -> None:
+    """The --tused/--tall/--tauto instantiation-mode flags shared by
+    cxxparse and pdbbuild."""
+    ap.add_argument(
+        "--tused",
+        dest="mode",
+        action="store_const",
+        const=InstantiationMode.USED,
+        default=InstantiationMode.USED,
+        help="used-instantiation mode (default; the mode PDT needs)",
+    )
+    ap.add_argument(
+        "--tall",
+        dest="mode",
+        action="store_const",
+        const=InstantiationMode.ALL,
+        help="instantiate all members of instantiated templates",
+    )
+    ap.add_argument(
+        "--tauto",
+        dest="mode",
+        action="store_const",
+        const=InstantiationMode.PRELINK,
+        help="EDG automatic (prelinker) scheme: instantiations absent from the IL",
+    )
+
+
+def parse_passes(ap: argparse.ArgumentParser, spec: Optional[str]):
+    """Validate a --passes spec against the analyzer's known traversals."""
+    if not spec:
+        return None
+    from repro.analyzer.ilanalyzer import DEFAULT_PASSES
+
+    selected = tuple(p.strip() for p in spec.split(",") if p.strip())
+    unknown = set(selected) - set(DEFAULT_PASSES)
+    if unknown:
+        ap.error(f"unknown passes: {', '.join(sorted(unknown))}")
+    return selected
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """CLI entry point."""
+    ap = argparse.ArgumentParser(
+        prog="pdbbuild",
+        description="parallel, incrementally-cached C++ -> PDB build driver",
+    )
+    ap.add_argument("source", nargs="+", help="translation units to compile")
+    ap.add_argument("-o", "--output", help="output PDB (default: <source>.pdb)")
+    ap.add_argument(
+        "-I", dest="include_paths", action="append", default=[], help="include path"
+    )
+    ap.add_argument(
+        "-j", "--jobs", type=int, default=1, help="worker processes (default 1)"
+    )
+    ap.add_argument(
+        "--cache-dir",
+        default=".pdbbuild-cache",
+        help="incremental cache directory (default .pdbbuild-cache)",
+    )
+    ap.add_argument(
+        "--no-cache", action="store_true", help="disable the incremental cache"
+    )
+    ap.add_argument(
+        "--stats-json", help="write the per-phase build report to this file"
+    )
+    add_mode_arguments(ap)
+    ap.add_argument(
+        "--passes",
+        help="comma-separated analyzer traversals to run (so,te,na,cl,ro,ty,ma)",
+    )
+    ap.add_argument("-v", "--verbose", action="store_true")
+    args = ap.parse_args(argv)
+    options = BuildOptions(
+        include_paths=tuple(args.include_paths),
+        instantiation_mode=args.mode,
+        passes=parse_passes(ap, args.passes),
+    )
+    cache_dir = None if args.no_cache else args.cache_dir
+    merged, stats = build(
+        args.source, options, jobs=max(1, args.jobs), cache_dir=cache_dir
+    )
+    out = args.output or (args.source[0].rsplit(".", 1)[0] + ".pdb")
+    merged.write(out)
+    if args.stats_json:
+        with open(args.stats_json, "w") as f:
+            json.dump(stats.to_dict(), f, indent=1)
+    if args.verbose:
+        for tu in stats.tus:
+            tag = "hit " if tu.cache_hit else "miss"
+            print(f"  [{tag}] {tu.source}: {tu.items} items, {tu.wall_s:.3f}s")
+        print(
+            f"  merge: {stats.merge.duplicates_eliminated} duplicates eliminated "
+            f"({stats.merge.duplicate_instantiations} template instantiations), "
+            f"{stats.merge_wall_s:.3f}s"
+        )
+    print(f"{out}: {stats.output_items} items")
+    if stats.warnings:
+        print(f"{stats.warnings} warning(s)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

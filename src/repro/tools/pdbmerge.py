@@ -8,13 +8,30 @@ import argparse
 from typing import Optional
 
 from repro.ductape.pdb import PDB, MergeStats
+from repro.pdbfmt.items import Attribute, PdbDocument, RawItem
+
+
+def _clone(pdb: PDB) -> PDB:
+    """Deep-copy a PDB (same ids, names, attribute order — identical text)."""
+    doc = PdbDocument(version=pdb.doc.version)
+    for raw in pdb.doc.items:
+        item = RawItem(prefix=raw.prefix, id=raw.id, name=raw.name)
+        for a in raw.attributes:
+            item.attributes.append(Attribute(a.key, list(a.words), a.text))
+        doc.items.append(item)
+    return PDB(doc)
 
 
 def merge_pdbs(pdbs: list[PDB]) -> tuple[PDB, list[MergeStats]]:
-    """Fold a list of PDBs left-to-right into one merged PDB."""
+    """Fold a list of PDBs left-to-right into one *fresh* merged PDB.
+
+    The inputs are never modified — the first PDB is deep-copied before
+    the others are folded in — so callers can keep reusing them (the
+    pdbbuild cache hands out the same parsed per-TU PDBs repeatedly).
+    """
     if not pdbs:
         return PDB(), []
-    base = pdbs[0]
+    base = _clone(pdbs[0])
     stats: list[MergeStats] = []
     for other in pdbs[1:]:
         stats.append(base.merge(other))

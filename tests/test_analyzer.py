@@ -1,6 +1,5 @@
 """IL Analyzer tests: item emission, attributes, template matching."""
 
-import pytest
 
 from repro.analyzer import ILAnalyzer, analyze
 from repro.cpp.instantiate import InstantiationMode

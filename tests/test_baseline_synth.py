@@ -1,6 +1,5 @@
 """Sage++ baseline and synthetic corpus generator tests."""
 
-import pytest
 
 from repro.baselines.sagepp import SageExtractor, extraction_accuracy
 from repro.workloads.synth import SynthSpec, compile_synth, generate

@@ -1,7 +1,6 @@
 """DUCTAPE API tests: the class hierarchy of paper Figure 4, item
 accessors, PDB-level queries, and merge."""
 
-import pytest
 
 from repro.analyzer import analyze
 from repro.ductape import (

@@ -6,7 +6,6 @@ import sys
 from contextlib import redirect_stdout
 from pathlib import Path
 
-import pytest
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.cpp.il import TemplateKind
 from repro.workloads.pooma import compile_pooma
 
 CG = "CGSolver<double, pooma::StencilMatrix<double>, pooma::DiagonalPreconditioner<double>>"
@@ -92,7 +91,6 @@ class TestTemplatesInPdb:
 
     def test_solver_members_match_class_template(self, tree):
         from repro.analyzer import analyze
-        from repro.pdbfmt import ItemRef
 
         doc = analyze(tree)
         solves = [i for i in doc.by_prefix("ro") if i.name == "solve"]

@@ -6,7 +6,7 @@ from repro.analyzer import analyze
 from repro.cpp.il import Access, RoutineKind, Virtuality
 from repro.ductape.pdb import PDB
 from repro.java.frontend import JavaFrontend
-from repro.workloads.javasim import compile_nbody, java_files
+from repro.workloads.javasim import compile_nbody
 
 
 def compile_java(files: dict[str, str]):

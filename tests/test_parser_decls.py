@@ -1,6 +1,5 @@
 """Declaration parser tests: classes, namespaces, enums, functions."""
 
-import pytest
 
 from repro.cpp.il import Access, ClassKind, RoutineKind, Virtuality
 from tests.util import compile_source

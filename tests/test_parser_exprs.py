@@ -1,6 +1,5 @@
 """Expression/statement parser tests: call extraction, lifetimes."""
 
-import pytest
 
 from repro.cpp.il import RoutineKind
 from tests.util import compile_source

@@ -1,0 +1,223 @@
+"""pdbbuild driver + build cache tests: parallel determinism, cache
+hit/miss behaviour, and the non-mutating merge_pdbs contract."""
+
+import json
+
+import pytest
+
+from repro.analyzer import analyze
+from repro.buildcache import BuildCache, content_hash
+from repro.cpp import Frontend, FrontendOptions
+from repro.cpp.instantiate import InstantiationMode
+from repro.ductape.pdb import PDB
+from repro.tools.pdbbuild import BuildOptions, build
+from repro.tools.pdbmerge import merge_pdbs
+from repro.workloads.synth import SynthSpec, generate
+
+
+@pytest.fixture()
+def corpus():
+    return generate(SynthSpec(n_translation_units=3, n_templates=2))
+
+
+class TestBuildDeterminism:
+    def test_parallel_identical_to_serial(self, corpus):
+        serial, s1 = build(corpus.main_files, files=corpus.files)
+        par, s2 = build(corpus.main_files, files=corpus.files, jobs=2)
+        assert serial.to_text() == par.to_text()
+        assert s2.jobs == 2 and not any(t.cache_hit for t in s2.tus)
+
+    def test_single_tu_matches_direct_analyze(self, corpus):
+        from repro.pdbfmt.writer import write_pdb
+
+        fe = Frontend(FrontendOptions())
+        fe.register_files(corpus.files)
+        direct = write_pdb(analyze(fe.compile(corpus.main_files[0])))
+        merged, _ = build(corpus.main_files[:1], files=corpus.files)
+        assert merged.to_text() == direct
+
+    def test_merge_stats_aggregated(self, corpus):
+        _, stats = build(corpus.main_files, files=corpus.files)
+        assert stats.merge.duplicates_eliminated > 0
+        assert stats.output_items > 0
+        assert len(stats.tus) == 3
+
+
+class TestBuildCacheBehaviour:
+    def test_hit_on_identical_rerun(self, corpus, tmp_path):
+        cache = str(tmp_path / "cache")
+        m1, s1 = build(corpus.main_files, files=corpus.files, cache_dir=cache)
+        assert s1.cache_misses == 3 and s1.cache_hits == 0
+        m2, s2 = build(corpus.main_files, files=corpus.files, cache_dir=cache)
+        assert s2.cache_hits == 3 and s2.cache_misses == 0
+        assert m1.to_text() == m2.to_text()
+
+    def test_warm_parallel_identical(self, corpus, tmp_path):
+        cache = str(tmp_path / "cache")
+        cold, _ = build(corpus.main_files, files=corpus.files, cache_dir=cache, jobs=2)
+        warm, stats = build(corpus.main_files, files=corpus.files, cache_dir=cache, jobs=2)
+        assert stats.cache_hits == 3
+        assert cold.to_text() == warm.to_text()
+
+    def test_miss_when_transitive_header_changes(self, tmp_path):
+        files = {
+            "a.h": '#include "b.h"\nint from_a( ) { return deep( ); }\n',
+            "b.h": "int deep( ) { return 1; }\n",
+            "main.cpp": '#include "a.h"\nint main( ) { return from_a( ); }\n',
+        }
+        cache = str(tmp_path / "cache")
+        build(["main.cpp"], files=files, cache_dir=cache)
+        # edit a header reached only transitively: must recompile
+        changed = dict(files, **{"b.h": "int deep( ) { return 2; }\n"})
+        _, stats = build(["main.cpp"], files=changed, cache_dir=cache)
+        assert stats.cache_misses == 1 and stats.cache_hits == 0
+        # and the original content still hits again
+        _, stats = build(["main.cpp"], files=files, cache_dir=cache)
+        assert stats.cache_hits == 1
+
+    def test_miss_when_instantiation_mode_changes(self, corpus, tmp_path):
+        cache = str(tmp_path / "cache")
+        build(corpus.main_files, files=corpus.files, cache_dir=cache)
+        opts = BuildOptions(instantiation_mode=InstantiationMode.ALL)
+        _, stats = build(corpus.main_files, opts, files=corpus.files, cache_dir=cache)
+        assert stats.cache_misses == 3 and stats.cache_hits == 0
+
+    def test_miss_when_include_paths_change(self, corpus, tmp_path):
+        cache = str(tmp_path / "cache")
+        build(corpus.main_files, files=corpus.files, cache_dir=cache)
+        opts = BuildOptions(include_paths=("/pdt/include/kai",))
+        _, stats = build(corpus.main_files, opts, files=corpus.files, cache_dir=cache)
+        assert stats.cache_misses == 3 and stats.cache_hits == 0
+
+    def test_preprocessor_reports_consumed_files(self, corpus):
+        fe = Frontend(FrontendOptions())
+        fe.register_files(corpus.files)
+        fe.compile(corpus.main_files[0])
+        names = [f.name for f in fe.last_consumed_files]
+        assert names == [corpus.main_files[0], "synth.h"]
+
+
+class TestBuildCacheStore:
+    def test_lookup_roundtrip(self, tmp_path):
+        cache = BuildCache(str(tmp_path))
+        deps = [("main.cpp", content_hash("int main;"))]
+        cache.store("fp", "main.cpp", deps, "<PDB 1.0>\n", items=1, warnings=2)
+        entry = cache.lookup("fp", "main.cpp", lambda name: "int main;")
+        assert entry is not None
+        assert entry.pdb_text == "<PDB 1.0>\n"
+        assert entry.items == 1 and entry.warnings == 2
+        assert cache.stats.hits == 1
+        assert cache.entry_count() == 1
+
+    def test_lookup_misses_on_unreadable_dep(self, tmp_path):
+        cache = BuildCache(str(tmp_path))
+        deps = [("gone.h", content_hash("x"))]
+        cache.store("fp", "main.cpp", deps, "<PDB 1.0>\n")
+        assert cache.lookup("fp", "main.cpp", lambda name: None) is None
+        assert cache.stats.misses == 1
+
+    def test_clear(self, tmp_path):
+        cache = BuildCache(str(tmp_path))
+        cache.store("fp", "m.cpp", [], "<PDB 1.0>\n")
+        cache.clear()
+        assert cache.entry_count() == 0
+        assert cache.lookup("fp", "m.cpp", lambda name: "") is None
+
+
+class TestMergeNonMutating:
+    def test_inputs_unchanged(self, corpus):
+        fe = Frontend(FrontendOptions())
+        fe.register_files(corpus.files)
+        pdbs = [PDB(analyze(fe.compile(f))) for f in corpus.main_files]
+        before = [p.to_text() for p in pdbs]
+        merged, stats = merge_pdbs(pdbs)
+        assert [p.to_text() for p in pdbs] == before
+        assert merged is not pdbs[0]
+        # merging the same (unmutated) inputs again gives the same result
+        merged2, _ = merge_pdbs(pdbs)
+        assert merged.to_text() == merged2.to_text()
+        assert len(stats) == len(pdbs) - 1
+
+    def test_empty_and_single(self, corpus):
+        merged, stats = merge_pdbs([])
+        assert merged.items() == [] and stats == []
+        fe = Frontend(FrontendOptions())
+        fe.register_files(corpus.files)
+        p = PDB(analyze(fe.compile(corpus.main_files[0])))
+        merged, stats = merge_pdbs([p])
+        assert merged is not p
+        assert merged.to_text() == p.to_text()
+
+
+class TestPdbbuildCli:
+    def _write_corpus(self, tmp_path):
+        corpus = generate(SynthSpec(n_translation_units=3, n_templates=2))
+        for name, text in corpus.files.items():
+            (tmp_path / name).write_text(text)
+        return [str(tmp_path / f) for f in corpus.main_files]
+
+    def test_cli_matches_cxxparse_plus_pdbmerge(self, tmp_path):
+        from repro.tools.cxxparse import main as cxxparse_main
+        from repro.tools.pdbbuild import main as pdbbuild_main
+        from repro.tools.pdbmerge import main as pdbmerge_main
+
+        sources = self._write_corpus(tmp_path)
+        # serial reference: cxxparse per TU, then pdbmerge
+        per_tu = []
+        for i, src in enumerate(sources):
+            out = str(tmp_path / f"ref{i}.pdb")
+            assert cxxparse_main([src, "-o", out]) == 0
+            per_tu.append(out)
+        ref = tmp_path / "ref.pdb"
+        assert pdbmerge_main(per_tu + ["-o", str(ref)]) == 0
+        # parallel cached build
+        out = tmp_path / "out.pdb"
+        stats_file = tmp_path / "stats.json"
+        argv = sources + [
+            "-o", str(out),
+            "-j", "2",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--stats-json", str(stats_file),
+        ]
+        assert pdbbuild_main(list(argv)) == 0
+        assert out.read_text() == ref.read_text()
+        stats = json.loads(stats_file.read_text())
+        assert stats["schema"] == "pdbbuild-stats/1"
+        assert stats["cache"] == {
+            "dir": str(tmp_path / "cache"), "hits": 0, "misses": 3,
+        }
+        # warm rerun recompiles nothing and reproduces the same bytes
+        assert pdbbuild_main(list(argv)) == 0
+        stats = json.loads(stats_file.read_text())
+        assert stats["cache"]["hits"] == 3 and stats["cache"]["misses"] == 0
+        assert all(t["cache_hit"] for t in stats["tus"])
+        assert out.read_text() == ref.read_text()
+
+    def test_cli_no_cache(self, tmp_path):
+        from repro.tools.pdbbuild import main as pdbbuild_main
+
+        sources = self._write_corpus(tmp_path)
+        out = tmp_path / "out.pdb"
+        assert pdbbuild_main(sources + ["-o", str(out), "--no-cache"]) == 0
+        assert not (tmp_path / ".pdbbuild-cache").exists()
+        assert PDB.read(str(out)).findRoutine("main") is not None
+
+    def test_cli_header_edit_invalidates(self, tmp_path):
+        from repro.tools.pdbbuild import main as pdbbuild_main
+
+        sources = self._write_corpus(tmp_path)
+        out = tmp_path / "out.pdb"
+        stats_file = tmp_path / "stats.json"
+        argv = sources + [
+            "-o", str(out),
+            "--cache-dir", str(tmp_path / "cache"),
+            "--stats-json", str(stats_file),
+        ]
+        assert pdbbuild_main(list(argv)) == 0
+        header = tmp_path / "synth.h"
+        header.write_text(header.read_text() + "\nint extra_fn( ) { return 7; }\n")
+        assert pdbbuild_main(list(argv)) == 0
+        stats = json.loads(stats_file.read_text())
+        # every TU includes synth.h, so every TU recompiles
+        assert stats["cache"]["misses"] == 3 and stats["cache"]["hits"] == 0
+        assert PDB.read(str(out)).findRoutine("extra_fn") is not None

@@ -5,7 +5,6 @@ import pytest
 from repro.cpp import Frontend, FrontendOptions
 from repro.cpp.instantiate import InstantiationMode
 from repro.cpp.prelink import PrelinkSimulator
-from repro.workloads.stl import KAI_INCLUDE_DIR, stl_files
 
 SHARED = {
     "box.h": (

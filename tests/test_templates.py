@@ -1,6 +1,5 @@
 """Template machinery tests: definition, instantiation, specialization."""
 
-import pytest
 
 from repro.cpp.il import TemplateKind
 from repro.cpp.instantiate import InstantiationMode

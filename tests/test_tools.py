@@ -1,12 +1,10 @@
 """Tool tests: pdbconv, pdbtree, pdbhtml, pdbmerge, cxxparse CLIs."""
 
-import os
 
 import pytest
 
 from repro.analyzer import analyze
 from repro.ductape.pdb import PDB
-from repro.pdbfmt.writer import write_pdb
 from repro.tools.pdbconv import check_pdb, convert_pdb
 from repro.tools.pdbhtml import generate_html
 from repro.tools.pdbtree import (

@@ -1,13 +1,6 @@
 """Type system unit tests: interning, spellings, substitution."""
 
-from repro.cpp.cpptypes import (
-    ArrayType,
-    FunctionType,
-    PointerType,
-    QualifiedType,
-    ReferenceType,
-    TypeTable,
-)
+from repro.cpp.cpptypes import QualifiedType, TypeTable
 
 
 class TestInterning:
