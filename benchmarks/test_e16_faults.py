@@ -1,0 +1,101 @@
+"""E16 — fault-tolerance: recovery-mode overhead and keep-going builds.
+
+Two questions the robustness work must answer quantitatively:
+
+* **Clean-path overhead** — compiling an error-free workload with
+  ``--keep-going-errors`` enabled must produce *byte-identical* PDBs and
+  stay within a few percent of the fatal-errors pipeline (the recovery
+  machinery is all on error paths; the clean path only swaps exception
+  escalation for a flag check).  The issue budget is <5%; the assert
+  uses a generous CI guard since sub-second timings jitter, and prints
+  the measured ratio for the record.
+* **Keep-going yield** — on a workload with broken TUs, ``-k`` must
+  still deliver the full merge of every healthy TU (8/10 here), and the
+  damage must be inventoried in the stats report.
+
+Run with ``-s`` to see the timing table.
+"""
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.tools.pdbbuild import BuildOptions, build
+from repro.workloads.synth import SynthSpec, generate
+
+import sys
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from tests import faults  # noqa: E402
+
+SPEC = SynthSpec(
+    n_plain_classes=6,
+    methods_per_class=4,
+    n_templates=4,
+    instantiations_per_template=3,
+    n_translation_units=8,
+)
+
+#: CI guard for the <5% recovery-overhead budget: wall-clock asserts on
+#: shared runners are noisy, so fail only on gross regression; the
+#: printed ratio is the tracked number.
+OVERHEAD_GUARD = 1.5
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate(SPEC)
+
+
+def _bench(mains, files, options, repeats=3):
+    best = float("inf")
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out, _ = build(mains, options, files=files)
+        best = min(best, time.perf_counter() - t0)
+    return out, best
+
+
+class TestE16RecoveryOverhead:
+    def test_clean_path_identical_and_cheap(self, corpus):
+        fatal, t_fatal = _bench(corpus.main_files, corpus.files, BuildOptions())
+        recov, t_recov = _bench(
+            corpus.main_files, corpus.files, BuildOptions(keep_going_errors=50)
+        )
+        # recovery mode changes the fingerprint, not the clean output:
+        # byte-identical PDBs (no ferr items on an error-free workload)
+        assert recov.to_text() == fatal.to_text()
+        assert not recov.getErrorVec()
+        ratio = t_recov / t_fatal
+        print(
+            f"\nE16 clean-path overhead: fatal {t_fatal * 1e3:.1f} ms, "
+            f"recovery {t_recov * 1e3:.1f} ms, ratio {ratio:.3f} "
+            f"(budget 1.05, CI guard {OVERHEAD_GUARD})"
+        )
+        assert ratio < OVERHEAD_GUARD
+
+
+class TestE16KeepGoingYield:
+    def test_broken_tus_quarantined_healthy_tus_delivered(self, tmp_path):
+        corpus = generate(SynthSpec(n_translation_units=10))
+        root = tmp_path / "src"
+        faults.write_corpus(root, corpus.files)
+        mains = [str(root / m) for m in corpus.main_files]
+        faults.break_tu(Path(mains[2]))
+        faults.truncate_file(Path(mains[7]))
+
+        t0 = time.perf_counter()
+        merged, stats = build(mains, BuildOptions(), jobs=2, keep_going=True)
+        wall = time.perf_counter() - t0
+
+        assert len(stats.failures) == 2
+        assert len(stats.tus) == 8
+        good = [m for i, m in enumerate(mains) if i not in (2, 7)]
+        ref, _ = build(good, BuildOptions(), jobs=2)
+        assert merged.to_text() == ref.to_text()
+        print(
+            f"\nE16 keep-going: {len(stats.tus)}/10 TUs merged, "
+            f"{len(stats.failures)} quarantined, {wall * 1e3:.1f} ms"
+        )

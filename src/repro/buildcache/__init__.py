@@ -10,6 +10,6 @@ file, or any change to the options, changes the key and forces a
 recompile.
 """
 
-from repro.buildcache.cache import BuildCache, CacheEntry, content_hash
+from repro.buildcache.cache import BuildCache, CacheEntry, CacheStats, content_hash
 
-__all__ = ["BuildCache", "CacheEntry", "content_hash"]
+__all__ = ["BuildCache", "CacheEntry", "CacheStats", "content_hash"]

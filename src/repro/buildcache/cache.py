@@ -24,6 +24,13 @@ fingerprint, which changes both keys — a guaranteed miss.
 
 Writes go through a temp file + ``os.replace`` so concurrent builds
 sharing one cache directory never observe a torn entry.
+
+The cache is additionally *self-healing*: entry metadata records a
+sha256 of the stored PDB text, lookups verify it, and any entry that is
+corrupt, truncated, or unreadable (other than plainly absent) is evicted
+on the spot and recompiled — counted in :attr:`CacheStats.evictions`.  A
+damaged cache therefore costs one rebuild, never a wrong or failed
+build.
 """
 
 from __future__ import annotations
@@ -51,20 +58,30 @@ def _digest(*parts: str) -> str:
 
 @dataclass
 class CacheEntry:
-    """One cached per-TU compilation."""
+    """One cached per-TU compilation.
+
+    ``errors`` holds the rendered diagnostics of a TU that compiled in
+    error-recovery mode; replaying the entry reproduces the build output
+    a fresh compile would have printed."""
 
     pdb_text: str
     items: int = 0
     warnings: int = 0
     deps: list[tuple[str, str]] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one build."""
+    """Hit/miss/eviction counters for one build.
+
+    ``evictions`` counts entries dropped by the self-healing checks:
+    corrupt manifests, missing or truncated objects, hash mismatches,
+    unreadable files."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
 
 class BuildCache:
@@ -124,10 +141,18 @@ class BuildCache:
         mpath = self.manifests / (self.manifest_key(fingerprint, main) + ".json")
         try:
             manifest = json.loads(mpath.read_text())
+        except FileNotFoundError:
+            return None  # never built: a plain miss, nothing to heal
         except (OSError, ValueError):
+            # unreadable or corrupt manifest: evict so the re-store
+            # rewrites it from scratch instead of tripping forever
+            self._evict(mpath)
+            return None
+        if not isinstance(manifest, dict) or not isinstance(manifest.get("deps"), list):
+            self._evict(mpath)
             return None
         dep_hashes: list[tuple[str, str]] = []
-        for name in manifest.get("deps", []):
+        for name in manifest["deps"]:
             text = read_content(name)
             if text is None:
                 return None
@@ -138,13 +163,28 @@ class BuildCache:
         try:
             pdb_text = opath.read_text()
             meta = json.loads(meta_path.read_text())
+        except FileNotFoundError:
+            # the manifest promised this object; a half-deleted entry is
+            # damage, not a routine miss
+            self._evict(mpath, opath, meta_path)
+            return None
         except (OSError, ValueError):
+            self._evict(opath, meta_path)
+            return None
+        if not isinstance(meta, dict):
+            self._evict(opath, meta_path)
+            return None
+        expected = meta.get("sha256")
+        if expected is not None and content_hash(pdb_text) != expected:
+            # truncated write or bit flip: drop the entry and recompile
+            self._evict(opath, meta_path)
             return None
         return CacheEntry(
             pdb_text=pdb_text,
             items=int(meta.get("items", 0)),
             warnings=int(meta.get("warnings", 0)),
             deps=dep_hashes,
+            errors=[str(e) for e in meta.get("errors", [])],
         )
 
     # -- store --------------------------------------------------------
@@ -157,6 +197,7 @@ class BuildCache:
         pdb_text: str,
         items: int = 0,
         warnings: int = 0,
+        errors: Optional[list[str]] = None,
     ) -> str:
         """Record a finished compilation; returns the object key."""
         mpath = self.manifests / (self.manifest_key(fingerprint, main) + ".json")
@@ -168,10 +209,27 @@ class BuildCache:
             "items": items,
             "warnings": warnings,
             "deps": dep_hashes,
+            "sha256": content_hash(pdb_text),
+            "errors": errors or [],
         }
         _atomic_write(self.objects / (ckey + ".pdb"), pdb_text)
         _atomic_write(self.objects / (ckey + ".json"), json.dumps(meta, indent=1))
         return ckey
+
+    # -- self-healing -------------------------------------------------
+
+    def _evict(self, *paths: Path) -> None:
+        """Remove the files of one damaged entry; count a single eviction.
+
+        Best-effort: an entry we cannot unlink (e.g. permissions) still
+        counts — the lookup already treats it as a miss, so the build
+        proceeds by recompiling either way."""
+        for p in paths:
+            try:
+                p.unlink()
+            except OSError:
+                pass
+        self.stats.evictions += 1
 
     # -- maintenance --------------------------------------------------
 

@@ -16,7 +16,7 @@ The resulting :class:`repro.cpp.il.ILTree` is the input to the IL Analyzer
 (:mod:`repro.analyzer`).
 """
 
-from repro.cpp.diagnostics import CppError, Diagnostic, DiagnosticSink
+from repro.cpp.diagnostics import CppError, Diagnostic, DiagnosticSink, TooManyErrors
 from repro.cpp.frontend import Frontend, FrontendOptions, InstantiationMode
 from repro.cpp.source import SourceFile, SourceLocation, SourceManager
 
@@ -24,6 +24,7 @@ __all__ = [
     "CppError",
     "Diagnostic",
     "DiagnosticSink",
+    "TooManyErrors",
     "Frontend",
     "FrontendOptions",
     "InstantiationMode",

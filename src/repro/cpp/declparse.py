@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.cpp.cpptypes import FunctionType, Type
-from repro.cpp.diagnostics import CppError, DiagnosticSink
+from repro.cpp.diagnostics import CppError, DiagnosticSink, TooManyErrors
 from repro.cpp.il import (
     Access,
     Class,
@@ -82,14 +82,16 @@ class Parser(StmtParserMixin):
             start = self.pos
             try:
                 self.parse_declaration()
+            except TooManyErrors:
+                raise
             except CppError as exc:
                 if self.sink.fatal_errors:
                     raise
                 # error recovery: record, resynchronise at the next ";"
-                # (or, failing progress, the next token), keep going
+                # (or, failing progress, the next token), keep going;
+                # soft_error raises TooManyErrors once the cascade bound
+                # is hit, which terminates the unit
                 self.sink.soft_error(exc.message, exc.location)
-                if self.sink.error_count >= self.sink.max_errors:
-                    raise
                 self._recover_to_next_declaration(start)
             if self.engine is not None:
                 self.engine.drain()
@@ -439,7 +441,21 @@ class Parser(StmtParserMixin):
                 self.expect(":")
                 current = Access({"public": "pub", "protected": "prot", "private": "priv"}[word])
                 continue
-            self._parse_member_declaration(cls, current, pending_bodies)
+            start = self.pos
+            try:
+                self._parse_member_declaration(cls, current, pending_bodies)
+            except TooManyErrors:
+                raise
+            except CppError as exc:
+                if self.sink.fatal_errors:
+                    raise
+                # member-level recovery: record, resynchronise at the next
+                # ";" inside the class (balanced bodies skipped), so one
+                # broken member does not take out the rest of the class
+                self.sink.soft_error(exc.message, exc.location)
+                if self.pos == start and not self.at_eof:
+                    self.advance()
+                self.skip_to_semicolon()
 
     def _parse_member_declaration(
         self, cls: Class, access: Access, pending_bodies: list[tuple[Routine, int]]
@@ -1123,6 +1139,8 @@ class Parser(StmtParserMixin):
             self.binder.push_tparams(bindings)
             try:
                 spec_args = self.parse_template_args()
+            except TooManyErrors:
+                raise
             except CppError:
                 spec_args = []
             finally:
@@ -1194,6 +1212,8 @@ class Parser(StmtParserMixin):
             if pattern in self.tree.all_classes:
                 self.tree.all_classes.remove(pattern)
             return pattern
+        except TooManyErrors:
+            raise
         except CppError:
             return None
         finally:
@@ -1306,6 +1326,8 @@ class Parser(StmtParserMixin):
             if self.at("<"):
                 try:
                     args = self.parse_template_args()
+                except TooManyErrors:
+                    raise
                 except CppError:
                     args = []
             self.rewind(mark)

@@ -50,13 +50,23 @@ class CppError(Exception):
         super().__init__(Diagnostic(Severity.ERROR, message, location).render())
 
 
+class TooManyErrors(CppError):
+    """The ``max_errors`` cascade bound was hit; compilation must stop.
+
+    Recovery handlers (backtracking parses, instantiation fallbacks) catch
+    plain :class:`CppError` and continue; they must re-raise this subclass
+    so a runaway cascade actually terminates the translation unit.
+    """
+
+
 @dataclass
 class DiagnosticSink:
     """Collects diagnostics; optionally escalates errors to exceptions.
 
-    ``max_errors`` bounds how many errors accumulate before the sink raises
-    regardless of ``fatal_errors`` — runaway cascades in a broken input
-    should not silently fill memory.
+    ``max_errors`` bounds how many errors accumulate — through
+    :meth:`error` *and* :meth:`soft_error` — before the sink raises
+    :class:`TooManyErrors` regardless of ``fatal_errors``: runaway
+    cascades in a broken input should not silently fill memory.
     """
 
     fatal_errors: bool = True
@@ -71,12 +81,22 @@ class DiagnosticSink:
 
     def error(self, message: str, location: Optional["SourceLocation"] = None) -> None:
         self.diagnostics.append(Diagnostic(Severity.ERROR, message, location))
-        if self.fatal_errors or self.error_count >= self.max_errors:
+        if self.error_count >= self.max_errors:
+            raise TooManyErrors(
+                f"too many errors ({self.error_count}); giving up", location
+            )
+        if self.fatal_errors:
             raise CppError(message, location)
 
     def soft_error(self, message: str, location: Optional["SourceLocation"] = None) -> None:
-        """Record an error without escalating (parser error recovery)."""
+        """Record an error without escalating (parser error recovery).
+
+        Still subject to the ``max_errors`` cascade bound."""
         self.diagnostics.append(Diagnostic(Severity.ERROR, message, location))
+        if self.error_count >= self.max_errors:
+            raise TooManyErrors(
+                f"too many errors ({self.error_count}); giving up", location
+            )
 
     @property
     def error_count(self) -> int:
@@ -88,3 +108,7 @@ class DiagnosticSink:
 
     def render_all(self) -> str:
         return "\n".join(d.render() for d in self.diagnostics)
+
+    def render_errors(self) -> list[str]:
+        """Rendered error diagnostics only (build-failure reports)."""
+        return [d.render() for d in self.diagnostics if d.severity is Severity.ERROR]

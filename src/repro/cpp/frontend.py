@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.cpp.diagnostics import DiagnosticSink
+from repro.cpp.diagnostics import CppError, DiagnosticSink, TooManyErrors
 from repro.cpp.il import ILTree
 from repro.cpp.instantiate import InstantiationEngine, InstantiationMode
 from repro.cpp.preprocessor import Preprocessor
@@ -30,12 +30,19 @@ class FrontendOptions:
 
     ``instantiation_mode`` selects the EDG-style scheme (paper Section 2):
     USED is what PDT needs; ALL and PRELINK exist for benches E10/E11.
+
+    ``fatal_errors=False`` turns on EDG-style error recovery: user-source
+    errors are recorded on the sink and the front end resynchronises and
+    keeps going, so :meth:`Frontend.compile` returns a *partial* IL tree
+    plus the diagnostic list instead of raising.  ``max_errors`` bounds
+    the cascade (the ``--keep-going-errors N`` option).
     """
 
     include_paths: list[str] = field(default_factory=list)
     instantiation_mode: InstantiationMode = InstantiationMode.USED
     predefined_macros: dict[str, str] = field(default_factory=dict)
     fatal_errors: bool = True
+    max_errors: int = 50
 
 
 class Frontend:
@@ -54,6 +61,9 @@ class Frontend:
                     self.manager.include_paths.append(p)
         self.last_sink: Optional[DiagnosticSink] = None
         self.last_engine: Optional[InstantiationEngine] = None
+        #: True when the last ``compile`` hit the ``max_errors`` cascade
+        #: bound and gave up early (its tree is partial at best)
+        self.last_error_overflow: bool = False
         #: files the preprocessor consumed for the last ``compile`` call,
         #: in first-use order — the hash set for pdbbuild's incremental cache
         self.last_consumed_files: list = []
@@ -63,28 +73,55 @@ class Frontend:
         self.manager.register_many(files)
 
     def compile(self, main_file: str) -> ILTree:
-        """Compile one translation unit."""
+        """Compile one translation unit.
+
+        With ``fatal_errors=False`` the front end recovers from
+        user-source errors (lexical, preprocessor, and parse) and this
+        returns whatever IL was built, with the error list available on
+        :attr:`last_sink` — the paper's EDG behaviour of emitting usable
+        IL for broken translation units.  A runaway cascade past
+        ``max_errors`` stops the unit early but still returns the
+        partial tree."""
         from repro.cpp.declparse import Parser
 
-        sink = DiagnosticSink(fatal_errors=self.options.fatal_errors)
+        sink = DiagnosticSink(
+            fatal_errors=self.options.fatal_errors,
+            max_errors=self.options.max_errors,
+        )
         self.last_sink = sink
+        self.last_error_overflow = False
         src = self.manager.load(main_file)
         predefined = {"__cplusplus": "199711", **self.options.predefined_macros}
         pp = Preprocessor(self.manager, sink, predefined)
-        tokens = pp.preprocess(src)
-        self.last_consumed_files = list(pp.consumed_files)
         tree = ILTree()
         tree.main_file = src
-        engine = InstantiationEngine(
-            tree, tokens, sink, self.options.instantiation_mode
-        )
-        self.last_engine = engine
-        binder = Binder(tree)
-        parser = Parser(tokens, tree, binder, sink, engine)
-        parser.parse_translation_unit()
-        engine.drain()
-        tree.files = self.manager.inclusion_closure([src])
-        tree.macros = list(pp.macro_records)
+        try:
+            tokens = pp.preprocess(src)
+            engine = InstantiationEngine(
+                tree, tokens, sink, self.options.instantiation_mode
+            )
+            self.last_engine = engine
+            binder = Binder(tree)
+            parser = Parser(tokens, tree, binder, sink, engine)
+            parser.parse_translation_unit()
+            engine.drain()
+        except TooManyErrors:
+            # cascade bound hit: the sink already holds every diagnostic;
+            # degrade to whatever IL was built before giving up
+            if self.options.fatal_errors:
+                raise
+            self.last_error_overflow = True
+        except CppError as exc:
+            if self.options.fatal_errors:
+                raise
+            try:
+                sink.soft_error(exc.message, exc.location)
+            except TooManyErrors:
+                pass
+        finally:
+            self.last_consumed_files = list(pp.consumed_files)
+            tree.files = self.manager.inclusion_closure([src])
+            tree.macros = list(pp.macro_records)
         return tree
 
     def compile_many(self, main_files: list[str]) -> list[ILTree]:

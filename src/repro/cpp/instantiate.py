@@ -48,7 +48,7 @@ from repro.cpp.cpptypes import (
     Type,
     TypedefType,
 )
-from repro.cpp.diagnostics import CppError, DiagnosticSink
+from repro.cpp.diagnostics import CppError, DiagnosticSink, TooManyErrors
 from repro.cpp.il import (
     Class,
     ILTree,
@@ -138,6 +138,8 @@ class InstantiationEngine:
         parser.pos = chosen.decl_tokens[0]
         try:
             parser.parse_class_definition(existing=cls, attach_to_scope=False)
+        except TooManyErrors:
+            raise
         except CppError as exc:
             self.sink.warn(f"instantiation of {name} failed: {exc.message}", loc)
         for r in cls.routines:
@@ -185,6 +187,8 @@ class InstantiationEngine:
         parser = self._make_parser(parent, bindings, tokens=toks)
         try:
             return parser.parse_full_type()
+        except TooManyErrors:
+            raise
         except CppError:
             return None
 
@@ -303,6 +307,8 @@ class InstantiationEngine:
         parser.pos = te.decl_tokens[0]
         try:
             self._parse_member_definition(parser, te, routine, cls)
+        except TooManyErrors:
+            raise
         except CppError as exc:
             self.sink.warn(
                 f"body instantiation of {routine.full_name} failed: {exc.message}",
@@ -415,6 +421,8 @@ class InstantiationEngine:
             specs = parser._parse_decl_spec_flags()
             base = parser.parse_type_specifier()
             decl = parser.parse_declarator(base)
+        except TooManyErrors:
+            raise
         except CppError as exc:
             self.sink.warn(
                 f"instantiation of {template.name} failed: {exc.message}", loc

@@ -3,11 +3,20 @@
 Produces the raw token stream the preprocessor consumes.  Comments are
 skipped (they only affect ``leading_space``); line continuations
 (backslash-newline) are honoured, including inside ``#define`` bodies.
+
+When constructed with a non-fatal :class:`DiagnosticSink`, lexical
+errors are reported as soft errors and the lexer recovers instead of
+raising: an unterminated block comment swallows the rest of the file, an
+unterminated literal ends at the line break, and an unexpected character
+is skipped.  Truncated or corrupted sources then still yield a usable
+token stream for the rest of the translation unit.
 """
 
 from __future__ import annotations
 
-from repro.cpp.diagnostics import CppError
+from typing import Optional
+
+from repro.cpp.diagnostics import CppError, DiagnosticSink
 from repro.cpp.source import SourceFile, SourceLocation
 from repro.cpp.tokens import PUNCTUATORS, Token, TokenKind
 
@@ -19,7 +28,7 @@ _DIGITS = frozenset("0123456789")
 class Lexer:
     """Lexes one :class:`SourceFile` into a token list."""
 
-    def __init__(self, file: SourceFile):
+    def __init__(self, file: SourceFile, sink: Optional[DiagnosticSink] = None):
         self.file = file
         self.text = file.text
         self.pos = 0
@@ -27,6 +36,16 @@ class Lexer:
         self.col = 1
         self.at_line_start = True
         self.leading_space = False
+        self.sink = sink
+        #: recover from lexical errors instead of raising
+        self.recover = sink is not None and not sink.fatal_errors
+
+    def _lex_error(self, message: str, loc: SourceLocation) -> None:
+        """Report a lexical error; raises unless in recovery mode."""
+        if self.recover and self.sink is not None:
+            self.sink.soft_error(message, loc)
+        else:
+            raise CppError(message, loc)
 
     # -- character helpers --------------------------------------------
 
@@ -77,7 +96,8 @@ class Lexer:
                         break
                     self._advance()
                 else:
-                    raise CppError("unterminated block comment", start)
+                    # recovery: the truncated comment swallows the rest
+                    self._lex_error("unterminated block comment", start)
                 self.leading_space = True
             else:
                 return
@@ -136,7 +156,9 @@ class Lexer:
             else:
                 self._advance()
         kind = "string" if quote == '"' else "character"
-        raise CppError(f"unterminated {kind} literal", start_loc)
+        # recovery: the literal ends at the line break (or EOF)
+        self._lex_error(f"unterminated {kind} literal", start_loc)
+        return self.text[start : self.pos] + quote
 
     def next_token(self) -> Token:
         self._skip_trivia()
@@ -159,7 +181,10 @@ class Lexer:
             if self.text.startswith(punct, self.pos):
                 self._advance(len(punct))
                 return Token(TokenKind.PUNCT, punct, loc, at_start, space)
-        raise CppError(f"unexpected character {ch!r}", loc)
+        # recovery: skip the offending character and lex what follows
+        self._lex_error(f"unexpected character {ch!r}", loc)
+        self._advance()
+        return self.next_token()
 
     def tokenize(self) -> list[Token]:
         """Lex the whole file, EOF token included."""
@@ -171,6 +196,9 @@ class Lexer:
                 return out
 
 
-def tokenize(file: SourceFile) -> list[Token]:
-    """Convenience wrapper: lex ``file`` into a token list."""
-    return Lexer(file).tokenize()
+def tokenize(file: SourceFile, sink: Optional[DiagnosticSink] = None) -> list[Token]:
+    """Convenience wrapper: lex ``file`` into a token list.
+
+    With a non-fatal ``sink``, lexical errors are recorded there and the
+    lexer recovers (see class docstring) instead of raising."""
+    return Lexer(file, sink).tokenize()

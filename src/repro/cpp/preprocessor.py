@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.cpp.diagnostics import CppError, DiagnosticSink
+from repro.cpp.diagnostics import CppError, DiagnosticSink, TooManyErrors
 from repro.cpp.lexer import tokenize
 from repro.cpp.source import SourceFile, SourceLocation, SourceManager
 from repro.cpp.tokens import Token, TokenKind, tokens_to_text
@@ -113,17 +113,27 @@ class Preprocessor:
         out.append(Token(TokenKind.EOF, "", eof_loc))
         return out
 
-    def _process_file(self, file: SourceFile) -> list[Token]:
+    @property
+    def _recover(self) -> bool:
+        """Whether user-source errors should be reported and skipped."""
+        return not self.sink.fatal_errors
+
+    def _process_file(
+        self, file: SourceFile, loc: Optional[SourceLocation] = None
+    ) -> list[Token]:
+        """Process one file; ``loc`` is the including ``#include`` line
+        (None for the main file), attached to include-graph errors so the
+        rendered diagnostic points at the offending directive."""
         if file in self._include_stack:
             cycle = " -> ".join(f.name for f in self._include_stack + [file])
-            raise CppError(f"circular include: {cycle}")
+            raise CppError(f"circular include: {cycle}", loc)
         if len(self._include_stack) > 200:
-            raise CppError(f"include depth limit exceeded at {file.name}")
+            raise CppError(f"include depth limit exceeded at {file.name}", loc)
         if file not in self.consumed_files:
             self.consumed_files.append(file)
         self._include_stack.append(file)
         try:
-            toks = tokenize(file)
+            toks = tokenize(file, self.sink)
             return self._process_tokens(toks, file)
         finally:
             self._include_stack.pop()
@@ -139,14 +149,33 @@ class Preprocessor:
                 break
             if tok.is_punct("#") and tok.at_line_start:
                 line, i = self._grab_line(toks, i + 1)
-                self._directive(line, tok.location, file, conds, out)
+                try:
+                    self._directive(line, tok.location, file, conds, out)
+                except TooManyErrors:
+                    raise
+                except CppError as exc:
+                    # recovery: report the directive's failure, skip it
+                    if not self._recover:
+                        raise
+                    self.sink.soft_error(exc.message, exc.location or tok.location)
                 continue
             active = all(c.active for c in conds)
             if not active:
                 i += 1
                 continue
             if tok.kind is TokenKind.IDENT and tok.text in self.macros:
-                expanded, i = self._maybe_expand(toks, i)
+                try:
+                    expanded, i = self._maybe_expand(toks, i)
+                except TooManyErrors:
+                    raise
+                except CppError as exc:
+                    # recovery: emit the name unexpanded and move on
+                    if not self._recover:
+                        raise
+                    self.sink.soft_error(exc.message, exc.location or tok.location)
+                    out.append(tok)
+                    i += 1
+                    continue
                 out.extend(expanded)
                 continue
             out.append(tok)
@@ -280,7 +309,7 @@ class Preprocessor:
         if target in self._include_stack:
             # Re-inclusion of an in-progress file: record edge, skip body.
             return
-        out.extend(self._process_file(target))
+        out.extend(self._process_file(target, loc))
 
     def _do_define(self, rest: list[Token], loc: SourceLocation) -> None:
         if not rest or rest[0].kind is not TokenKind.IDENT:

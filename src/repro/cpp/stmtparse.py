@@ -24,7 +24,7 @@ from repro.cpp.cpptypes import (
     Type,
     TypedefType,
 )
-from repro.cpp.diagnostics import CppError
+from repro.cpp.diagnostics import CppError, TooManyErrors
 from repro.cpp.exprparse import ExprInfo, ExprParserMixin
 from repro.cpp.scope import LocalVar
 from repro.cpp.source import SourceLocation
@@ -250,6 +250,8 @@ class StmtParserMixin(ExprParserMixin):
         mark = self.mark()
         try:
             self.parse_type_specifier()
+        except TooManyErrors:
+            raise
         except CppError:
             self.rewind(mark)
             return False

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.cpp.cpptypes import Type
-from repro.cpp.diagnostics import CppError
+from repro.cpp.diagnostics import CppError, TooManyErrors
 from repro.cpp.il import Class, Enum, Parameter, Template, TemplateKind, Typedef
 from repro.cpp.parserbase import ParserBase
 from repro.cpp.source import SourceLocation
@@ -73,6 +73,8 @@ class TypeParserMixin(ParserBase):
         mark = self.mark()
         try:
             return self.parse_type_specifier()
+        except TooManyErrors:
+            raise
         except CppError:
             self.rewind(mark)
             return None
@@ -276,6 +278,8 @@ class TypeParserMixin(ParserBase):
         mark = self.mark()
         try:
             return self.parse_template_args()
+        except TooManyErrors:
+            raise
         except CppError:
             self.rewind(mark)
             return None
@@ -295,6 +299,8 @@ class TypeParserMixin(ParserBase):
         mark = self.mark()
         try:
             t = self.parse_full_type()
+        except TooManyErrors:
+            raise
         except CppError:
             t = None
             self.rewind(mark)
@@ -363,6 +369,8 @@ class TypeParserMixin(ParserBase):
                 mark = self.mark()
                 try:
                     params, ellipsis = self.parse_parameter_list()
+                except TooManyErrors:
+                    raise
                 except CppError:
                     # direct-initialisation arguments, not a parameter list
                     self.rewind(mark)

@@ -14,7 +14,8 @@ classes of paper Figure 4:
 * :class:`PdbFatItem` — items with header and body extents,
 * :class:`PdbTemplate`, :class:`PdbNamespace`,
 * :class:`PdbTemplateItem` — entities instantiable from templates,
-* :class:`PdbClass`, :class:`PdbRoutine`.
+* :class:`PdbClass`, :class:`PdbRoutine`,
+* :class:`PdbFerr` — frontend error records from fault-tolerant builds.
 
 The :class:`PDB` class represents an entire PDB file: reading, writing,
 merging, item vectors, the source-file inclusion tree, the static call
@@ -29,6 +30,7 @@ from repro.ductape.items import (
     INACTIVE,
     PdbCall,
     PdbClass,
+    PdbFerr,
     PdbFile,
     PdbItem,
     PdbLoc,
@@ -50,6 +52,7 @@ __all__ = [
     "PDB",
     "PdbCall",
     "PdbClass",
+    "PdbFerr",
     "PdbFile",
     "PdbItem",
     "PdbLoc",

@@ -175,6 +175,36 @@ class PdbMacro(PdbItem):
         return a.text or "" if a is not None else ""
 
 
+class PdbFerr(PdbItem):
+    """A frontend error record (``ferr``): one recovered diagnostic of a
+    translation unit that failed (partially or wholly) to compile.
+
+    ``name()`` is the translation unit the record belongs to; ``file()``
+    is the source file the diagnostic points into (usually the same, but
+    a broken header blames the header)."""
+
+    _loc_key = "floc"
+
+    def file(self) -> Optional["PdbFile"]:
+        return self._ref_attr("ffile")
+
+    def severity(self) -> str:
+        return self._word_attr("fsev", "error")
+
+    def kind(self) -> str:
+        return self._word_attr("fkind", "parse")
+
+    def message(self) -> str:
+        a = self._raw.get("fmsg")
+        return a.text or "" if a is not None else ""
+
+    def render(self) -> str:
+        """Format like a compiler diagnostic: ``file:line:col: error: msg``."""
+        loc = self.location()
+        prefix = f"{loc}: " if loc.known else ""
+        return f"{prefix}{self.severity()}: {self.message()}"
+
+
 class PdbType(PdbItem):
     """A type (``ty``): kind plus kind-specific attributes."""
 
@@ -522,4 +552,5 @@ ITEM_CLASSES: dict[str, type] = {
     "te": PdbTemplate,
     "na": PdbNamespace,
     "ma": PdbMacro,
+    "ferr": PdbFerr,
 }

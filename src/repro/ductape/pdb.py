@@ -16,6 +16,7 @@ from typing import Optional
 from repro.ductape.items import (
     ITEM_CLASSES,
     PdbClass,
+    PdbFerr,
     PdbFile,
     PdbMacro,
     PdbNamespace,
@@ -28,7 +29,7 @@ from repro.pdbfmt.items import Attribute, ItemRef, PdbDocument, RawItem
 from repro.pdbfmt.reader import parse_pdb
 from repro.pdbfmt.writer import write_pdb
 
-_REF_WORD = re.compile(r"^(so|ro|cl|ty|te|na|ma)#(\d+)$")
+_REF_WORD = re.compile(r"^(ferr|so|ro|cl|ty|te|na|ma)#(\d+)$")
 
 
 @dataclass
@@ -113,6 +114,14 @@ class PDB:
 
     def getMacroVec(self) -> list[PdbMacro]:
         return self._vec("ma")
+
+    def getErrorVec(self) -> list[PdbFerr]:
+        """All frontend error records (``ferr``), in file order."""
+        return self._vec("ferr")
+
+    def errors_of(self, f: PdbFile) -> list[PdbFerr]:
+        """The ``ferr`` records whose diagnostics point into ``f``."""
+        return [e for e in self.getErrorVec() if e.file() is f]
 
     def findRoutine(self, full_name: str) -> Optional[PdbRoutine]:
         for r in self.getRoutineVec():
@@ -220,6 +229,11 @@ def _item_key(index: dict, raw: RawItem) -> tuple:
         return ("ty", raw.name, _parent_name(index, raw, "yclass", "ynspace"))
     if raw.prefix == "ma":
         return ("ma", raw.name, loc_key)
+    if raw.prefix == "ferr":
+        # one record per distinct (file, position, message): re-merging
+        # the same failed TU does not duplicate its error list
+        a = raw.get("fmsg")
+        return ("ferr", raw.name, loc_key, a.text if a is not None else "")
     if raw.prefix == "na":
         return ("na", raw.name, _parent_name(index, raw, "", "nnspace"))
     if raw.prefix == "te":
@@ -243,7 +257,7 @@ def _item_key(index: dict, raw: RawItem) -> tuple:
 
 
 def _loc_key(index: dict, raw: RawItem) -> tuple:
-    for key in ("rloc", "cloc", "tloc", "nloc", "maloc", "yloc"):
+    for key in ("rloc", "cloc", "tloc", "nloc", "maloc", "yloc", "floc"):
         loc = raw.get_location(key)
         if loc is not None and loc.file is not None:
             f = index.get(loc.file)

@@ -1,0 +1,72 @@
+"""Frontend error records (``ferr``) — fault-tolerant build support.
+
+When the front end recovers from user-source errors (panic-mode resync,
+``--keep-going-errors``), the translation unit still contributes partial
+IL to its PDB.  Each recorded diagnostic becomes a ``ferr`` item so that
+downstream tools can display "this file failed with these errors"
+alongside whatever entities survived (docs/FORMAT.md, "Frontend error
+records").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.pdbfmt.items import PdbDocument, RawItem
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cpp.diagnostics import Diagnostic
+
+#: substrings classifying a diagnostic message into ``fkind`` buckets
+_INCLUDE_MARKERS = ("#include", "include depth", "circular include")
+_LEX_MARKERS = ("unterminated", "unexpected character", "invalid character")
+
+
+def classify_diagnostic(message: str) -> str:
+    """Map a diagnostic message to an ``fkind`` word.
+
+    The buckets — ``limit`` (cascade bound), ``include``, ``lex``,
+    ``parse`` — are heuristic: diagnostics carry no structured kind, so
+    this keys off the stable message vocabulary of the front end.
+    """
+    m = message.lower()
+    if m.startswith("too many errors"):
+        return "limit"
+    if any(k in m for k in _INCLUDE_MARKERS):
+        return "include"
+    if any(k in m for k in _LEX_MARKERS):
+        return "lex"
+    return "parse"
+
+
+def append_error_items(
+    doc: PdbDocument, diagnostics: Iterable["Diagnostic"], tu_name: str
+) -> list[RawItem]:
+    """Append one ``ferr`` item per diagnostic to ``doc``.
+
+    ``tu_name`` (the translation unit's main file) becomes the item name,
+    so merged PDBs keep per-TU attribution.  Diagnostic locations are
+    resolved against the document's ``so`` items by file name; a location
+    in a file the PDB does not know (or no location at all) renders as a
+    ``NULL`` reference, mirroring the format's convention for unknown
+    positions.  Returns the created items.
+    """
+    by_name = {raw.name: raw.ref for raw in doc.items if raw.prefix == "so"}
+    next_id = max((raw.id for raw in doc.items if raw.prefix == "ferr"), default=0) + 1
+    created: list[RawItem] = []
+    for d in diagnostics:
+        item = RawItem(prefix="ferr", id=next_id, name=tu_name)
+        next_id += 1
+        loc = d.location
+        fref = by_name.get(loc.file.name) if loc is not None else None
+        item.add("ffile", fref if fref is not None else "NULL")
+        if loc is not None:
+            item.add("floc", fref if fref is not None else "NULL", loc.line, loc.column)
+        else:
+            item.add("floc", "NULL", 0, 0)
+        item.add("fsev", d.severity.name.lower())
+        item.add("fkind", classify_diagnostic(d.message))
+        item.add_text("fmsg", d.message)
+        doc.add(item)
+        created.append(item)
+    return created

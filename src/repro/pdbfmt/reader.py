@@ -14,7 +14,7 @@ from repro.pdbfmt.items import Attribute, PdbDocument, RawItem
 from repro.pdbfmt.spec import ATTRIBUTE_SCHEMAS
 
 _HEADER_RE = re.compile(r"^<PDB\s+([0-9.]+)>\s*$")
-_ITEM_RE = re.compile(r"^(so|ro|cl|ty|te|na|ma)#(\d+)(?:\s+(.*))?$")
+_ITEM_RE = re.compile(r"^(ferr|so|ro|cl|ty|te|na|ma)#(\d+)(?:\s+(.*))?$")
 
 
 class PdbParseError(Exception):

@@ -18,7 +18,14 @@ TEMPLATES      te       tloc, tnspace/tclass (parent), tacs, tkind,
                         ttext (text of template), tpos
 NAMESPACES     na       nloc, nnspace, nmem (members), nalias, npos
 MACROS         ma       maloc, makind, matext
+FRONT ERRORS   ferr     ffile (file ref), floc, fsev, fkind, fmsg
 =============  =======  =====================================================
+
+``ferr`` records are this reproduction's extension for fault-tolerant
+builds: a translation unit whose front end recovered from user-source
+errors still contributes its IL, and each recorded diagnostic becomes a
+``ferr`` item so tools can display "this file failed with these errors"
+instead of choking (docs/FORMAT.md, "Frontend error records").
 
 The header record ``<PDB 1.0>`` opens every file.  All items carry a
 source position; "fat" items (routines, classes, templates, namespaces)
@@ -46,6 +53,7 @@ ITEM_TYPES: dict[str, str] = {
     "te": "TEMPLATES",
     "na": "NAMESPACES",
     "ma": "MACROS",
+    "ferr": "FRONTEND ERRORS",
 }
 
 #: attribute key -> value grammar, per item prefix.
@@ -135,6 +143,13 @@ ATTRIBUTE_SCHEMAS: dict[str, dict[str, str]] = {
         "maloc": "loc",
         "makind": "words",  # def | undef
         "matext": "text",
+    },
+    "ferr": {
+        "ffile": "ref",   # the file the diagnostic points into (so#)
+        "floc": "loc",    # error position
+        "fsev": "words",  # error | warning
+        "fkind": "words", # parse | lex | include | limit (cascade bound)
+        "fmsg": "text",   # the diagnostic message, verbatim
     },
 }
 

@@ -10,9 +10,17 @@ compilations ``pdbmerge``d into one database (the PDT build workflow) —
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Optional
 
-from repro.tools.pdbbuild import BuildOptions, add_mode_arguments, build, parse_passes
+from repro.tools.pdbbuild import (
+    BuildOptions,
+    TUCompileError,
+    add_mode_arguments,
+    add_recovery_arguments,
+    build,
+    parse_passes,
+)
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -31,6 +39,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "-I", dest="include_paths", action="append", default=[], help="include path"
     )
     add_mode_arguments(ap)
+    add_recovery_arguments(ap)
     ap.add_argument(
         "--passes",
         help="comma-separated analyzer traversals to run (so,te,na,cl,ro,ty,ma) "
@@ -41,8 +50,15 @@ def main(argv: Optional[list[str]] = None) -> int:
         include_paths=tuple(args.include_paths),
         instantiation_mode=args.mode,
         passes=parse_passes(ap, args.passes),
+        keep_going_errors=args.keep_going_errors,
     )
-    merged, stats = build(args.source, options)
+    try:
+        merged, stats = build(args.source, options)
+    except TUCompileError as exc:
+        for line in exc.diagnostics:
+            print(line, file=sys.stderr)
+        print(f"cxxparse: error: {exc}", file=sys.stderr)
+        return 1
     out = args.output or (args.source[0].rsplit(".", 1)[0] + ".pdb")
     merged.write(out)
     print(f"{out}: {stats.output_items} items")

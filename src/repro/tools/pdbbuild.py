@@ -17,30 +17,56 @@ This driver runs that pipeline as a build system would:
 
 ``cxxparse`` routes through :func:`build` with one worker and no cache,
 so single-TU behaviour is unchanged.
+
+The driver is fault-tolerant (docs/DESIGN.md, "Failure model"):
+
+* ``-k/--keep-going`` quarantines failed TUs instead of aborting: the
+  build merges every TU that compiled, records each failure (phase,
+  error, rendered diagnostics) in the stats report, and exits non-zero,
+* ``--keep-going-errors N`` turns on frontend error recovery, so a TU
+  with user-source errors still contributes its partial IL, annotated
+  with ``ferr`` diagnostic records,
+* ``--timeout`` bounds each TU's wall clock; a hung worker is abandoned
+  (its TU fails with phase ``timeout``) and the rest of the build
+  continues in a fresh pool,
+* a worker crash poisons every pending future in the pool
+  (``BrokenProcessPool`` cannot name the victim), so each affected TU is
+  retried once in an isolated single-worker pool — innocent bystanders
+  recover, the deterministic crasher fails with phase ``worker``.
+
+Fault-injection hooks for the test harness (read inside the worker, so
+they propagate to forked pools): ``PDBBUILD_FAULT_SLEEP=<name>:<secs>``
+sleeps before compiling a matching TU; ``PDBBUILD_FAULT_EXIT=<name>`` or
+``<name>:<once-marker-path>`` kills the worker process outright (with a
+marker file: only the first time).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import sys
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Optional
 
 from repro.buildcache import BuildCache, content_hash
-from repro.cpp import Frontend, FrontendOptions
+from repro.cpp import CppError, Frontend, FrontendOptions
 from repro.cpp.instantiate import InstantiationMode
 from repro.ductape.pdb import PDB, MergeStats
 from repro.pdbfmt.writer import write_pdb
 
 #: bump when the PDB output of a compilation changes incompatibly, so
 #: stale caches from older code can never be reused
-CACHE_FORMAT = "pdbbuild-cache/1"
+CACHE_FORMAT = "pdbbuild-cache/2"
 
 #: schema tag emitted in --stats-json reports
-STATS_SCHEMA = "pdbbuild-stats/1"
+STATS_SCHEMA = "pdbbuild-stats/2"
 
 
 @dataclass(frozen=True)
@@ -51,6 +77,10 @@ class BuildOptions:
     instantiation_mode: InstantiationMode = InstantiationMode.USED
     predefined_macros: tuple[tuple[str, str], ...] = ()
     passes: Optional[tuple[str, ...]] = None
+    #: None = errors are fatal (classic behaviour); N = recover from up
+    #: to N user-source errors per TU, annotating the PDB with ``ferr``
+    #: records.  Part of the fingerprint: recovery changes the output.
+    keep_going_errors: Optional[int] = None
 
     def fingerprint(self) -> str:
         """Stable hash of the options, part of every cache key."""
@@ -61,17 +91,22 @@ class BuildOptions:
                 "mode": self.instantiation_mode.value,
                 "predefined": sorted(self.predefined_macros),
                 "passes": list(self.passes) if self.passes is not None else None,
+                "keep_going_errors": self.keep_going_errors,
             },
             sort_keys=True,
         )
         return content_hash(blob)
 
     def frontend_options(self) -> FrontendOptions:
-        return FrontendOptions(
+        fo = FrontendOptions(
             include_paths=list(self.include_paths),
             instantiation_mode=self.instantiation_mode,
             predefined_macros=dict(self.predefined_macros),
         )
+        if self.keep_going_errors is not None:
+            fo.fatal_errors = False
+            fo.max_errors = max(1, self.keep_going_errors)
+        return fo
 
 
 @dataclass
@@ -83,6 +118,40 @@ class TUReport:
     wall_s: float
     items: int
     warnings: int
+    errors: int = 0  # recovered frontend errors (``ferr`` records)
+
+
+@dataclass
+class TUFailure:
+    """One quarantined TU: why it contributed nothing to the merge.
+
+    ``phase`` is ``frontend`` (unrecoverable or cascading source
+    errors), ``timeout`` (exceeded the per-TU wall-clock bound), or
+    ``worker`` (the worker process died and the retry died too)."""
+
+    source: str
+    phase: str
+    error: str
+    diagnostics: list[str] = field(default_factory=list)
+    retries: int = 0
+
+
+class TUCompileError(Exception):
+    """One TU failed to compile.
+
+    Carries the rendered diagnostics so keep-going builds can report
+    them without re-running the frontend.  All constructor arguments
+    flow through ``Exception.args``, so instances survive the pickling
+    round-trip from worker processes unchanged."""
+
+    def __init__(self, source: str, message: str, diagnostics: tuple = ()):
+        super().__init__(source, message, tuple(diagnostics))
+        self.source = source
+        self.message = message
+        self.diagnostics = list(diagnostics)
+
+    def __str__(self) -> str:
+        return f"{self.source}: {self.message}"
 
 
 @dataclass
@@ -93,15 +162,18 @@ class BuildStats:
     cache_dir: Optional[str] = None
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
     tus: list[TUReport] = field(default_factory=list)
+    failures: list[TUFailure] = field(default_factory=list)
     merge: MergeStats = field(default_factory=MergeStats)
     merge_wall_s: float = 0.0
     total_wall_s: float = 0.0
     output_items: int = 0
     warnings: int = 0
+    errors: int = 0
 
     def to_dict(self) -> dict:
-        """The --stats-json document (schema: ``pdbbuild-stats/1``)."""
+        """The --stats-json document (schema: ``pdbbuild-stats/2``)."""
         return {
             "schema": STATS_SCHEMA,
             "jobs": self.jobs,
@@ -110,11 +182,14 @@ class BuildStats:
                 "dir": self.cache_dir,
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
+                "evictions": self.cache_evictions,
             },
             "tus": [asdict(t) for t in self.tus],
+            "failures": [asdict(f) for f in self.failures],
             "merge": {"wall_s": self.merge_wall_s, **asdict(self.merge)},
             "output_items": self.output_items,
             "warnings": self.warnings,
+            "errors": self.errors,
             "total_wall_s": self.total_wall_s,
         }
 
@@ -129,6 +204,31 @@ class _TUOutput:
     items: int
     warnings: int
     wall_s: float
+    errors: list[str] = field(default_factory=list)
+
+
+def _fault_matches(source: str, name: str) -> bool:
+    return source == name or Path(source).name == Path(name).name
+
+
+def _apply_fault_hooks(source: str) -> None:
+    """Test-harness fault injection (see module docstring).  No-ops
+    unless the PDBBUILD_FAULT_* environment variables are set."""
+    spec = os.environ.get("PDBBUILD_FAULT_SLEEP")
+    if spec and ":" in spec:
+        name, _, secs = spec.rpartition(":")
+        if _fault_matches(source, name):
+            time.sleep(float(secs))
+    spec = os.environ.get("PDBBUILD_FAULT_EXIT")
+    if spec:
+        name, _, marker = spec.partition(":")
+        if _fault_matches(source, name):
+            if marker:
+                if not os.path.exists(marker):
+                    Path(marker).write_text("crashed")
+                    os._exit(13)
+            else:
+                os._exit(13)
 
 
 def _compile_tu(
@@ -137,15 +237,46 @@ def _compile_tu(
     files: Optional[dict[str, str]],
 ) -> _TUOutput:
     """Compile one TU to PDB text.  Top-level so worker processes can
-    unpickle it; everything it needs travels as plain data."""
+    unpickle it; everything it needs travels as plain data.
+
+    Failure contract: raises :class:`TUCompileError` (picklable) when
+    the TU cannot contribute a PDB — an unrecoverable frontend error, or
+    an error cascade past the recovery bound.  In recovery mode
+    (``keep_going_errors``) a TU with recorded errors still returns its
+    partial PDB, annotated with ``ferr`` records."""
     from repro.analyzer import analyze
 
+    _apply_fault_hooks(source)
     start = time.perf_counter()
     fe = Frontend(options.frontend_options())
     if files:
         fe.register_files(files)
-    tree = fe.compile(source)
+    try:
+        tree = fe.compile(source)
+    except CppError as exc:
+        diags = fe.last_sink.render_errors() if fe.last_sink is not None else []
+        if not diags:
+            diags = [str(exc)]
+        raise TUCompileError(source, exc.message, tuple(diags)) from exc
+    errors: list[str] = []
+    if fe.last_sink is not None:
+        errors = fe.last_sink.render_errors()
+    if fe.last_error_overflow:
+        raise TUCompileError(
+            source,
+            f"too many errors (--keep-going-errors bound of "
+            f"{fe.options.max_errors} reached); giving up on this TU",
+            tuple(errors),
+        )
     doc = analyze(tree, passes=options.passes) if options.passes else analyze(tree)
+    if errors:
+        from repro.cpp.diagnostics import Severity
+        from repro.pdbfmt.ferr import append_error_items
+
+        error_diags = [
+            d for d in fe.last_sink.diagnostics if d.severity is Severity.ERROR
+        ]
+        append_error_items(doc, error_diags, source)
     text = write_pdb(doc)
     deps = [(f.name, content_hash(f.text)) for f in fe.last_consumed_files]
     warnings = fe.last_sink.warning_count if fe.last_sink is not None else 0
@@ -156,7 +287,55 @@ def _compile_tu(
         items=len(doc.items),
         warnings=warnings,
         wall_s=time.perf_counter() - start,
+        errors=errors,
     )
+
+
+def _failure_from(source: str, exc: Exception, phase: str, retries: int = 0) -> TUFailure:
+    if isinstance(exc, TUCompileError):
+        return TUFailure(
+            source=source,
+            phase=phase,
+            error=exc.message,
+            diagnostics=list(exc.diagnostics),
+            retries=retries,
+        )
+    return TUFailure(source=source, phase=phase, error=str(exc), retries=retries)
+
+
+def _retry_broken(
+    i: int,
+    source: str,
+    options: BuildOptions,
+    files: Optional[dict[str, str]],
+    timeout: Optional[float],
+    outputs: dict[int, "_TUOutput"],
+    failures: dict[int, TUFailure],
+) -> None:
+    """Re-run one TU whose shared-pool future died with BrokenProcessPool.
+
+    A single crashing worker poisons every pending future in the pool,
+    so most victims are innocent: rerun each once in an isolated
+    single-worker pool.  A TU that kills its worker *again* is the real
+    culprit and fails with phase ``worker``."""
+    pool = ProcessPoolExecutor(max_workers=1)
+    fut = pool.submit(_compile_tu, source, options, files)
+    try:
+        outputs[i] = fut.result(timeout=timeout)
+        pool.shutdown()
+    except TUCompileError as exc:
+        pool.shutdown()
+        failures[i] = _failure_from(source, exc, "frontend", retries=1)
+    except FuturesTimeout:
+        pool.shutdown(wait=False, cancel_futures=True)
+        failures[i] = TUFailure(
+            source, "timeout", f"timed out after {timeout:g}s (on retry)", retries=1
+        )
+    except BrokenProcessPool:
+        pool.shutdown(wait=False)
+        failures[i] = TUFailure(
+            source, "worker", "worker process crashed (reproduced on retry)", retries=1
+        )
 
 
 def build(
@@ -165,6 +344,8 @@ def build(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     files: Optional[dict[str, str]] = None,
+    keep_going: bool = False,
+    timeout: Optional[float] = None,
 ) -> tuple[PDB, BuildStats]:
     """Compile ``sources`` and merge them into one PDB.
 
@@ -173,6 +354,14 @@ def build(
     deterministic.  ``cache_dir`` enables the incremental cache.
     ``files`` supplies an in-memory corpus (name -> text), the same shape
     :meth:`Frontend.register_files` takes.
+
+    ``keep_going`` quarantines failed TUs (recorded in
+    ``stats.failures``) and merges the rest — the merged output is
+    byte-identical to a build that never listed the failed TUs.  Without
+    it, the first failure raises :class:`TUCompileError`.  ``timeout``
+    bounds each TU's wall clock; it needs worker processes (``jobs`` >
+    1) to be enforceable, since a hung in-process compile cannot be
+    abandoned.
     """
     t0 = time.perf_counter()
     options = options or BuildOptions()
@@ -189,6 +378,7 @@ def build(
             return None
 
     outputs: dict[int, _TUOutput] = {}
+    failures: dict[int, TUFailure] = {}
     hits: dict[int, bool] = {}
     to_compile: list[tuple[int, str]] = []
     for i, source in enumerate(sources):
@@ -201,25 +391,73 @@ def build(
                 items=entry.items,
                 warnings=entry.warnings,
                 wall_s=0.0,
+                errors=entry.errors,
             )
             hits[i] = True
         else:
             to_compile.append((i, source))
             hits[i] = False
 
-    if len(to_compile) > 1 and jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                i: pool.submit(_compile_tu, source, options, files)
-                for i, source in to_compile
-            }
-            for i, fut in futures.items():
-                outputs[i] = fut.result()
+    use_pool = jobs > 1 and (len(to_compile) > 1 or (to_compile and timeout))
+    if use_pool:
+        # Batches re-run whatever a mid-batch pool shutdown (hung
+        # worker) left uncollected; every batch records at least one
+        # failure before re-queueing, so the loop terminates.
+        remaining = list(to_compile)
+        while remaining:
+            batch, remaining = remaining, []
+            pool = ProcessPoolExecutor(max_workers=jobs)
+            futures = [
+                (i, source, pool.submit(_compile_tu, source, options, files))
+                for i, source in batch
+            ]
+            broken: list[tuple[int, str]] = []
+            hung = False
+            for i, source, fut in futures:
+                if hung:
+                    # the pool is shut down; keep finished results,
+                    # re-queue what was cancelled or still running
+                    if fut.done() and not fut.cancelled():
+                        try:
+                            outputs[i] = fut.result()
+                        except TUCompileError as exc:
+                            failures[i] = _failure_from(source, exc, "frontend")
+                        except BrokenProcessPool:
+                            broken.append((i, source))
+                    else:
+                        remaining.append((i, source))
+                    continue
+                try:
+                    outputs[i] = fut.result(timeout=timeout)
+                except TUCompileError as exc:
+                    failures[i] = _failure_from(source, exc, "frontend")
+                except FuturesTimeout:
+                    failures[i] = TUFailure(
+                        source, "timeout", f"timed out after {timeout:g}s"
+                    )
+                    hung = True
+                    pool.shutdown(wait=False, cancel_futures=True)
+                except BrokenProcessPool:
+                    broken.append((i, source))
+            if not hung:
+                pool.shutdown()
+            for i, source in broken:
+                _retry_broken(i, source, options, files, timeout, outputs, failures)
     else:
         for i, source in to_compile:
-            outputs[i] = _compile_tu(source, options, files)
+            try:
+                outputs[i] = _compile_tu(source, options, files)
+            except TUCompileError as exc:
+                failures[i] = _failure_from(source, exc, "frontend")
+
+    if failures and not keep_going:
+        first = min(failures)
+        f = failures[first]
+        raise TUCompileError(f.source, f.error, tuple(f.diagnostics))
 
     for i, _ in to_compile:
+        if i in failures:
+            continue  # quarantined: never cached, never merged
         out = outputs[i]
         if cache:
             cache.store(
@@ -229,9 +467,12 @@ def build(
                 out.pdb_text,
                 items=out.items,
                 warnings=out.warnings,
+                errors=out.errors,
             )
 
     for i in range(len(sources)):
+        if i in failures:
+            continue
         out = outputs[i]
         stats.tus.append(
             TUReport(
@@ -240,17 +481,25 @@ def build(
                 wall_s=out.wall_s,
                 items=out.items,
                 warnings=out.warnings,
+                errors=len(out.errors),
             )
         )
         stats.warnings += out.warnings
+        stats.errors += len(out.errors)
+    stats.failures = [failures[i] for i in sorted(failures)]
     if cache:
         stats.cache_hits = cache.stats.hits
         stats.cache_misses = cache.stats.misses
+        stats.cache_evictions = cache.stats.evictions
 
     tm = time.perf_counter()
     from repro.tools.pdbmerge import merge_pdbs
 
-    pdbs = [PDB.from_text(outputs[i].pdb_text) for i in range(len(sources))]
+    pdbs = [
+        PDB.from_text(outputs[i].pdb_text)
+        for i in range(len(sources))
+        if i not in failures
+    ]
     merged, merge_stats = merge_pdbs(pdbs)
     stats.merge_wall_s = time.perf_counter() - tm
     for ms in merge_stats:
@@ -287,6 +536,18 @@ def add_mode_arguments(ap: argparse.ArgumentParser) -> None:
         action="store_const",
         const=InstantiationMode.PRELINK,
         help="EDG automatic (prelinker) scheme: instantiations absent from the IL",
+    )
+
+
+def add_recovery_arguments(ap: argparse.ArgumentParser) -> None:
+    """The frontend error-recovery flag shared by cxxparse and pdbbuild."""
+    ap.add_argument(
+        "--keep-going-errors",
+        type=int,
+        metavar="N",
+        help="recover from up to N user-source errors per TU instead of "
+        "aborting on the first; recovered errors become ferr records in "
+        "the output PDB",
     )
 
 
@@ -328,7 +589,22 @@ def main(argv: Optional[list[str]] = None) -> int:
     ap.add_argument(
         "--stats-json", help="write the per-phase build report to this file"
     )
+    ap.add_argument(
+        "-k",
+        "--keep-going",
+        action="store_true",
+        help="quarantine failed TUs and merge the rest (exit non-zero, "
+        "failures listed in --stats-json)",
+    )
+    ap.add_argument(
+        "--timeout",
+        type=float,
+        metavar="SECS",
+        help="per-TU wall-clock bound; a hung worker fails its TU "
+        "(needs -j > 1 to be enforceable)",
+    )
     add_mode_arguments(ap)
+    add_recovery_arguments(ap)
     ap.add_argument(
         "--passes",
         help="comma-separated analyzer traversals to run (so,te,na,cl,ro,ty,ma)",
@@ -339,11 +615,23 @@ def main(argv: Optional[list[str]] = None) -> int:
         include_paths=tuple(args.include_paths),
         instantiation_mode=args.mode,
         passes=parse_passes(ap, args.passes),
+        keep_going_errors=args.keep_going_errors,
     )
     cache_dir = None if args.no_cache else args.cache_dir
-    merged, stats = build(
-        args.source, options, jobs=max(1, args.jobs), cache_dir=cache_dir
-    )
+    try:
+        merged, stats = build(
+            args.source,
+            options,
+            jobs=max(1, args.jobs),
+            cache_dir=cache_dir,
+            keep_going=args.keep_going,
+            timeout=args.timeout,
+        )
+    except TUCompileError as exc:
+        for line in exc.diagnostics:
+            print(line, file=sys.stderr)
+        print(f"pdbbuild: error: {exc}", file=sys.stderr)
+        return 1
     out = args.output or (args.source[0].rsplit(".", 1)[0] + ".pdb")
     merged.write(out)
     if args.stats_json:
@@ -361,6 +649,22 @@ def main(argv: Optional[list[str]] = None) -> int:
     print(f"{out}: {stats.output_items} items")
     if stats.warnings:
         print(f"{stats.warnings} warning(s)")
+    if stats.errors:
+        print(f"{stats.errors} recovered error(s) recorded as ferr items")
+    for f_ in stats.failures:
+        for line in f_.diagnostics:
+            print(line, file=sys.stderr)
+        print(
+            f"pdbbuild: error: {f_.source}: [{f_.phase}] {f_.error}", file=sys.stderr
+        )
+    if stats.failures:
+        n = len(stats.failures)
+        print(
+            f"pdbbuild: {n} of {len(args.source)} TU(s) failed; "
+            f"merged the remaining {len(stats.tus)}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

@@ -29,6 +29,7 @@ h1 { border-bottom: 2px solid #888; }
 table { border-collapse: collapse; }
 td, th { border: 1px solid #ccc; padding: 2px 8px; text-align: left; }
 .kind { color: #666; font-size: 80%; }
+.ferr { color: #a00; }
 """
 
 
@@ -56,11 +57,29 @@ def _loc_str(item: PdbItem) -> str:
     return _source_link(item)
 
 
-def _file_page(f: PdbFile, source: Optional[str] = None) -> str:
+def _error_line(e) -> str:
+    """One rendered ``ferr`` diagnostic, linking to the source line."""
+    loc = e.location()
+    text = html.escape(f"{e.severity()}: {e.message()}")
+    if loc.known:
+        anchor = f"{_page_name(loc.file())}#L{loc.line()}"
+        where = html.escape(f"{loc.file().name()}:{loc.line()}:{loc.col()}")
+        return f'<a href="{anchor}">{where}</a>: {text}'
+    return text
+
+
+def _file_page(f: PdbFile, source: Optional[str] = None, errors: Optional[list] = None) -> str:
     rows = "".join(
         f"<li>{_link(inc, inc.name())}</li>" for inc in f.includes()
     )
     body = f"<h2>Includes</h2><ul>{rows or '<li>none</li>'}</ul>"
+    if errors:
+        items = "".join(f"<li class='ferr'>{_error_line(e)}</li>" for e in errors)
+        body = (
+            f"<h2>Frontend errors</h2><p class='kind'>this file failed to "
+            f"compile cleanly; entities below may be incomplete</p>"
+            f"<ul>{items}</ul>"
+        ) + body
     if source is not None:
         numbered = []
         for n, line in enumerate(source.splitlines(), start=1):
@@ -182,6 +201,13 @@ def _index_page(pdb: PDB) -> str:
         ("Routines", pdb.getRoutineVec()),
     ]
     parts = []
+    errors = pdb.getErrorVec()
+    if errors:
+        rows = "".join(
+            f"<li class='ferr'>{html.escape(e.name())}: {_error_line(e)}</li>"
+            for e in errors
+        )
+        parts.append(f"<h2>Frontend diagnostics</h2><ul>{rows}</ul>")
     for title, items in sections:
         if not items:
             continue
@@ -210,7 +236,7 @@ def generate_html(
     emit("index.html", _index_page(pdb))
     for f in pdb.getFileVec():
         text = (sources or {}).get(f.name())
-        emit(_page_name(f), _file_page(f, text))
+        emit(_page_name(f), _file_page(f, text, errors=pdb.errors_of(f)))
     for c in pdb.getClassVec():
         emit(_page_name(c), _class_page(c))
     for r in pdb.getRoutineVec():

@@ -69,6 +69,22 @@ def render_class_tree(pdb: PDB) -> str:
     return pdb.getClassHierarchy().render()
 
 
+def render_diagnostics(pdb: PDB) -> str:
+    """Frontend error records (``ferr``), grouped by translation unit.
+
+    Non-empty only for PDBs produced by fault-tolerant builds where a TU
+    compiled with recovered errors."""
+    by_tu: dict[str, list[str]] = {}
+    for e in pdb.getErrorVec():
+        by_tu.setdefault(e.name(), []).append(e.render())
+    lines: list[str] = []
+    for tu, rendered in by_tu.items():
+        lines.append(f"{tu}: {len(rendered)} error(s)")
+        for r in rendered:
+            lines.append(f"    {r}")
+    return "\n".join(lines)
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     """CLI entry point."""
     ap = argparse.ArgumentParser(
@@ -79,7 +95,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     ap.add_argument(
         "-t",
         "--tree",
-        choices=["calls", "classes", "includes", "all"],
+        choices=["calls", "classes", "includes", "errors", "all"],
         default="all",
         help="which tree to display",
     )
@@ -93,6 +109,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         sections.append(("CLASS HIERARCHY", render_class_tree(pdb)))
     if args.tree in ("calls", "all"):
         sections.append(("STATIC CALL GRAPH", render_call_tree(pdb, args.root)))
+    if args.tree == "errors" or (args.tree == "all" and pdb.getErrorVec()):
+        sections.append(("DIAGNOSTICS", render_diagnostics(pdb)))
     for title, body in sections:
         print(title)
         print("=" * len(title))

@@ -1,0 +1,125 @@
+"""Fault-injection harness for the robustness tests.
+
+Three damage families, matching the recovery paths under test:
+
+* **source faults** — write corpora to disk with broken TUs
+  (:func:`write_corpus`, :func:`truncate_file`, :func:`break_tu`),
+* **worker faults** — hang or kill worker processes via the
+  ``PDBBUILD_FAULT_*`` environment hooks that :func:`_compile_tu` reads
+  (:func:`slow_tu`, :func:`crashing_tu`); env vars are inherited by
+  forked pool workers, so the hooks fire inside the worker,
+* **cache faults** — flip bytes in / truncate / corrupt entries of an
+  on-disk build cache (:func:`corrupt_cache_object`,
+  :func:`truncate_cache_object`, :func:`corrupt_cache_manifest`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from pathlib import Path
+
+#: parse-breaking TU body: fatal without error recovery, one recovered
+#: error (then resync) with --keep-going-errors
+BROKEN_TU = "int broken( { this is not C++ ;;;\n"
+
+#: one recoverable parse error sandwiched between healthy declarations
+PARTIAL_TU = (
+    "int alpha() { return 1; }\n"
+    "int broken( { ;;;\n"
+    "class Keep { public: int m; };\n"
+    "int beta() { return alpha(); }\n"
+)
+
+
+# -- source faults ------------------------------------------------------
+
+
+def write_corpus(root: Path, files: dict[str, str]) -> list[Path]:
+    """Materialise an in-memory corpus on disk; returns written paths."""
+    out = []
+    for name, text in files.items():
+        p = root / name
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+        out.append(p)
+    return out
+
+
+def truncate_file(path: Path, keep_bytes: int = 17) -> None:
+    """Cut a source file mid-token, as a crashed editor or partial
+    checkout would."""
+    data = path.read_bytes()
+    path.write_bytes(data[:keep_bytes])
+
+
+def break_tu(path: Path) -> None:
+    """Replace a TU with unparsable text."""
+    path.write_text(BROKEN_TU)
+
+
+# -- worker faults ------------------------------------------------------
+
+
+@contextlib.contextmanager
+def slow_tu(name: str, seconds: float):
+    """Compiling a TU whose basename matches ``name`` sleeps first —
+    drives the per-TU timeout path."""
+    os.environ["PDBBUILD_FAULT_SLEEP"] = f"{name}:{seconds}"
+    try:
+        yield
+    finally:
+        os.environ.pop("PDBBUILD_FAULT_SLEEP", None)
+
+
+@contextlib.contextmanager
+def crashing_tu(name: str, once_marker: Path | None = None):
+    """Compiling a TU whose basename matches ``name`` kills the worker
+    process (``os._exit``).  With ``once_marker``, only the first
+    attempt crashes — drives the retry-recovers path; without it, every
+    attempt crashes — drives the deterministic-crasher path."""
+    spec = name if once_marker is None else f"{name}:{once_marker}"
+    os.environ["PDBBUILD_FAULT_EXIT"] = spec
+    try:
+        yield
+    finally:
+        os.environ.pop("PDBBUILD_FAULT_EXIT", None)
+
+
+# -- cache faults -------------------------------------------------------
+
+
+def _cache_objects(cache_dir: Path) -> list[Path]:
+    objs = sorted((cache_dir / "objects").glob("*.pdb"))
+    assert objs, f"no cached objects under {cache_dir}"
+    return objs
+
+
+def corrupt_cache_object(cache_dir: Path, n: int = 1) -> list[Path]:
+    """Flip a byte in the middle of ``n`` cached PDB objects (silent
+    disk corruption: size unchanged, content wrong)."""
+    victims = _cache_objects(cache_dir)[:n]
+    for p in victims:
+        data = bytearray(p.read_bytes())
+        mid = len(data) // 2
+        data[mid] ^= 0xFF
+        p.write_bytes(bytes(data))
+    return victims
+
+
+def truncate_cache_object(cache_dir: Path, n: int = 1) -> list[Path]:
+    """Cut ``n`` cached PDB objects short (torn write / full disk)."""
+    victims = _cache_objects(cache_dir)[:n]
+    for p in victims:
+        data = p.read_bytes()
+        p.write_bytes(data[: len(data) // 3])
+    return victims
+
+
+def corrupt_cache_manifest(cache_dir: Path, n: int = 1) -> list[Path]:
+    """Replace ``n`` cache manifests with invalid JSON."""
+    manifests = sorted((cache_dir / "manifests").glob("*.json"))[:n]
+    assert manifests, f"no manifests under {cache_dir}"
+    for p in manifests:
+        p.write_text("{ not json !!")
+    return manifests

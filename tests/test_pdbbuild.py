@@ -182,10 +182,11 @@ class TestPdbbuildCli:
         assert pdbbuild_main(list(argv)) == 0
         assert out.read_text() == ref.read_text()
         stats = json.loads(stats_file.read_text())
-        assert stats["schema"] == "pdbbuild-stats/1"
+        assert stats["schema"] == "pdbbuild-stats/2"
         assert stats["cache"] == {
-            "dir": str(tmp_path / "cache"), "hits": 0, "misses": 3,
+            "dir": str(tmp_path / "cache"), "hits": 0, "misses": 3, "evictions": 0,
         }
+        assert stats["failures"] == []
         # warm rerun recompiles nothing and reproduces the same bytes
         assert pdbbuild_main(list(argv)) == 0
         stats = json.loads(stats_file.read_text())

@@ -141,7 +141,8 @@ class TestReader:
 
 class TestSpec:
     def test_table1_prefixes(self):
-        """Paper Table 1's prefix column, exactly."""
+        """Paper Table 1's prefix column, exactly, plus this repro's
+        ``ferr`` extension for fault-tolerant builds."""
         assert ITEM_TYPES == {
             "so": "SOURCE FILES",
             "ro": "ROUTINES",
@@ -150,6 +151,7 @@ class TestSpec:
             "te": "TEMPLATES",
             "na": "NAMESPACES",
             "ma": "MACROS",
+            "ferr": "FRONTEND ERRORS",
         }
 
     def test_every_prefix_has_schema(self):
@@ -158,7 +160,10 @@ class TestSpec:
     def test_attribute_keys_use_prefix_letter(self):
         # each item type's attribute keys start with a letter tied to the
         # prefix ("distinguishing prefixes for common item attributes")
-        first = {"so": "s", "ro": "r", "cl": "c", "ty": "y", "te": "t", "na": "n", "ma": "m"}
+        first = {
+            "so": "s", "ro": "r", "cl": "c", "ty": "y",
+            "te": "t", "na": "n", "ma": "m", "ferr": "f",
+        }
         for prefix, attrs in ATTRIBUTE_SCHEMAS.items():
             for key in attrs:
                 assert key.startswith(first[prefix]), (prefix, key)

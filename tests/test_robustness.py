@@ -1,0 +1,346 @@
+"""Fault-tolerance tests: frontend error recovery, keep-going parallel
+builds, hung/crashed workers, and cache self-healing.
+
+Driven by the fault-injection harness in :mod:`tests.faults`; the
+headline scenario is the 10-TU build with 2 broken TUs whose keep-going
+output must be byte-identical to a build that never listed the broken
+TUs."""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.buildcache import BuildCache
+from repro.cpp import CppError, DiagnosticSink, Frontend, FrontendOptions, TooManyErrors
+from repro.cpp.preprocessor import Preprocessor
+from repro.cpp.source import SourceLocation, SourceManager
+from repro.tools.pdbbuild import (
+    BuildOptions,
+    TUCompileError,
+    build,
+    main as pdbbuild_main,
+)
+from repro.workloads.synth import SynthSpec, generate
+
+from tests import faults
+
+
+@pytest.fixture()
+def corpus10(tmp_path):
+    """A 10-TU synthetic corpus on disk; returns (root, main paths)."""
+    corpus = generate(SynthSpec(n_translation_units=10))
+    root = tmp_path / "src"
+    faults.write_corpus(root, corpus.files)
+    mains = [str(root / m) for m in corpus.main_files]
+    return root, mains
+
+
+# -- diagnostics sink: cascade bound (satellite a) ----------------------
+
+
+class TestCascadeBound:
+    def test_soft_errors_hit_the_bound(self):
+        sink = DiagnosticSink(fatal_errors=False, max_errors=5)
+        for _ in range(4):
+            sink.soft_error("bad")
+        with pytest.raises(TooManyErrors):
+            sink.soft_error("bad")
+        assert sink.error_count == 5
+
+    def test_hard_errors_hit_the_bound_before_escalating(self):
+        sink = DiagnosticSink(fatal_errors=True, max_errors=1)
+        with pytest.raises(TooManyErrors):
+            sink.error("bad")
+
+    def test_too_many_errors_is_a_cpperror(self):
+        # recovery handlers catch CppError; TooManyErrors must pass
+        # through them only via explicit re-raise guards
+        assert issubclass(TooManyErrors, CppError)
+
+    def test_compile_stops_at_bound_not_at_input_size(self):
+        fe = Frontend(FrontendOptions(fatal_errors=False, max_errors=7))
+        src = "".join(f"int broken{i}( {{ ;;;\n" for i in range(500))
+        fe.manager.register("cascade.cpp", src)
+        fe.compile("cascade.cpp")
+        assert fe.last_error_overflow
+        assert 7 <= fe.last_sink.error_count <= 9
+
+
+# -- include-graph errors carry locations (satellite b) -----------------
+
+
+class TestIncludeErrorLocations:
+    def test_depth_limit_error_has_location(self):
+        files = {f"h{i}.h": f'#include "h{i + 1}.h"\n' for i in range(210)}
+        files["h210.h"] = ""
+        mgr = SourceManager()
+        mgr.register_many(files)
+        main = mgr.register("main.cpp", '#include "h0.h"\n')
+        pp = Preprocessor(mgr)
+        with pytest.raises(CppError) as ei:
+            pp.preprocess(main)
+        assert "depth limit" in ei.value.message
+        assert ei.value.location is not None
+        assert ei.value.location.file.name.startswith("h")
+
+    def test_circular_include_error_has_location(self):
+        mgr = SourceManager()
+        a = mgr.register("a.h", "")
+        pp = Preprocessor(mgr)
+        pp._include_stack.append(a)
+        loc = SourceLocation(a, 3, 1)
+        with pytest.raises(CppError) as ei:
+            pp._process_file(a, loc)
+        assert "circular include" in ei.value.message
+        assert ei.value.location is loc
+
+    def test_depth_limit_recovers_in_keep_going_mode(self):
+        files = {f"h{i}.h": f'#include "h{i + 1}.h"\n' for i in range(210)}
+        files["h210.h"] = ""
+        files["deep.cpp"] = '#include "h0.h"\nint survivor() { return 1; }\n'
+        fe = Frontend(FrontendOptions(fatal_errors=False))
+        fe.register_files(files)
+        tree = fe.compile("deep.cpp")
+        assert fe.last_sink.error_count >= 1
+        assert tree.find_routine("survivor") is not None
+
+
+# -- frontend recovery contributes partial IL + ferr records ------------
+
+
+class TestPartialTU:
+    def test_recovered_tu_contributes_other_entities(self, tmp_path):
+        p = tmp_path / "recov.cpp"
+        p.write_text(faults.PARTIAL_TU)
+        merged, stats = build([str(p)], BuildOptions(keep_going_errors=25))
+        names = [r.name() for r in merged.getRoutineVec()]
+        assert "alpha" in names and "beta" in names
+        assert merged.findClass("Keep") is not None
+        ferrs = merged.getErrorVec()
+        assert len(ferrs) == 1
+        assert ferrs[0].name().endswith("recov.cpp")
+        assert "error" in ferrs[0].render()
+        assert stats.tus[0].errors == 1 and stats.errors == 1
+
+    def test_ferr_records_survive_merge_and_cache(self, tmp_path):
+        p = tmp_path / "recov.cpp"
+        p.write_text(faults.PARTIAL_TU)
+        q = tmp_path / "clean.cpp"
+        q.write_text("int gamma() { return 3; }\n")
+        cache = str(tmp_path / "cache")
+        opts = BuildOptions(keep_going_errors=25)
+        m1, s1 = build([str(p), str(q)], opts, cache_dir=cache)
+        m2, s2 = build([str(p), str(q)], opts, cache_dir=cache)
+        assert s2.cache_hits == 2
+        assert m1.to_text() == m2.to_text()
+        assert len(m2.getErrorVec()) == 1
+        assert s2.tus[0].errors == 1  # replayed from the cache entry
+
+    def test_truncated_source_recovers(self, tmp_path):
+        p = tmp_path / "trunc.cpp"
+        p.write_text("int whole() { return 1; }\nint casualty() { retur")
+        merged, stats = build([str(p)], BuildOptions(keep_going_errors=25))
+        names = [r.name() for r in merged.getRoutineVec()]
+        assert "whole" in names
+        assert merged.getErrorVec()
+
+    def test_hopeless_tu_is_quarantined_not_merged(self, tmp_path):
+        p = tmp_path / "hopeless.cpp"
+        p.write_text("".join(f"int broken{i}( {{ ;;;\n" for i in range(100)))
+        _, stats = build(
+            [str(p)], BuildOptions(keep_going_errors=5), keep_going=True
+        )
+        assert len(stats.failures) == 1
+        assert stats.failures[0].phase == "frontend"
+        assert "too many errors" in stats.failures[0].error
+
+
+# -- keep-going builds (the acceptance scenario) ------------------------
+
+
+class TestKeepGoing:
+    def test_two_broken_tus_quarantined_merge_byte_identical(
+        self, corpus10, tmp_path, capsys
+    ):
+        root, mains = corpus10
+        faults.break_tu(Path(mains[2]))
+        faults.truncate_file(Path(mains[7]))
+        stats_file = tmp_path / "stats.json"
+        out_all = tmp_path / "all.pdb"
+        rc = pdbbuild_main(
+            mains
+            + ["-j", "4", "-o", str(out_all), "--no-cache",
+               "--stats-json", str(stats_file), "-k"]
+        )
+        assert rc == 1
+        stats = json.loads(stats_file.read_text())
+        failed = {f["source"] for f in stats["failures"]}
+        assert failed == {mains[2], mains[7]}
+        for f in stats["failures"]:
+            assert f["phase"] == "frontend"
+            assert f["diagnostics"], "failure must carry rendered diagnostics"
+            assert "error:" in f["diagnostics"][0]
+        err = capsys.readouterr().err
+        assert "2 of 10 TU(s) failed" in err
+
+        good = [m for i, m in enumerate(mains) if i not in (2, 7)]
+        out_good = tmp_path / "good.pdb"
+        assert pdbbuild_main(good + ["-o", str(out_good), "--no-cache", "-j", "4"]) == 0
+        assert out_all.read_bytes() == out_good.read_bytes()
+
+    def test_without_keep_going_first_failure_raises(self, corpus10):
+        _, mains = corpus10
+        faults.break_tu(Path(mains[2]))
+        with pytest.raises(TUCompileError) as ei:
+            build(mains, BuildOptions(), jobs=4)
+        assert ei.value.source == mains[2]
+        assert ei.value.diagnostics
+
+    def test_failed_tus_are_not_cached(self, corpus10, tmp_path):
+        _, mains = corpus10
+        faults.break_tu(Path(mains[2]))
+        cache = str(tmp_path / "cache")
+        _, s1 = build(mains, BuildOptions(), jobs=2, cache_dir=cache, keep_going=True)
+        assert len(s1.failures) == 1
+        # fix the TU: it must be a miss (recompiled), not a stale hit
+        Path(mains[2]).write_text("int repaired() { return 0; }\n")
+        _, s2 = build(mains, BuildOptions(), jobs=2, cache_dir=cache, keep_going=True)
+        assert s2.failures == []
+        assert s2.cache_hits == 9 and s2.cache_misses == 1
+
+
+# -- hung and crashed workers -------------------------------------------
+
+
+class TestWorkerFaults:
+    def test_hung_worker_times_out_rest_of_build_survives(self, corpus10):
+        _, mains = corpus10
+        victim = Path(mains[1]).name
+        with faults.slow_tu(victim, 6.0):
+            _, stats = build(
+                mains, BuildOptions(), jobs=4, keep_going=True, timeout=1.5
+            )
+        assert [f.phase for f in stats.failures] == ["timeout"]
+        assert stats.failures[0].source == mains[1]
+        assert len(stats.tus) == 9
+
+    def test_crash_once_recovers_via_retry(self, corpus10, tmp_path):
+        _, mains = corpus10
+        marker = tmp_path / "crash-once"
+        with faults.crashing_tu(Path(mains[3]).name, once_marker=marker):
+            _, stats = build(mains, BuildOptions(), jobs=4, keep_going=True)
+        assert stats.failures == []
+        assert len(stats.tus) == 10
+        assert marker.exists(), "the injected crash never fired"
+
+    def test_deterministic_crasher_fails_alone(self, corpus10):
+        _, mains = corpus10
+        with faults.crashing_tu(Path(mains[3]).name):
+            _, stats = build(mains, BuildOptions(), jobs=4, keep_going=True)
+        assert [(f.phase, f.retries) for f in stats.failures] == [("worker", 1)]
+        assert stats.failures[0].source == mains[3]
+        # every innocent bystander of the poisoned pool was retried home
+        assert len(stats.tus) == 9
+
+
+# -- cache self-healing (satellite c) -----------------------------------
+
+
+class TestCacheSelfHealing:
+    def _seed(self, tmp_path, n=2):
+        corpus = generate(SynthSpec(n_translation_units=n))
+        root = tmp_path / "src"
+        faults.write_corpus(root, corpus.files)
+        mains = [str(root / m) for m in corpus.main_files]
+        cache = tmp_path / "cache"
+        ref, _ = build(mains, BuildOptions(), cache_dir=str(cache))
+        return mains, cache, ref
+
+    def test_flipped_byte_evicts_and_recompiles(self, tmp_path):
+        mains, cache, ref = self._seed(tmp_path)
+        faults.corrupt_cache_object(cache, n=1)
+        merged, stats = build(mains, BuildOptions(), cache_dir=str(cache))
+        assert stats.cache_evictions == 1
+        assert stats.cache_misses == 1 and stats.cache_hits == 1
+        assert merged.to_text() == ref.to_text()
+        # healed: the rerun is all hits again
+        _, s3 = build(mains, BuildOptions(), cache_dir=str(cache))
+        assert s3.cache_hits == 2 and s3.cache_evictions == 0
+
+    def test_truncated_object_evicts_and_recompiles(self, tmp_path):
+        mains, cache, ref = self._seed(tmp_path)
+        faults.truncate_cache_object(cache, n=1)
+        merged, stats = build(mains, BuildOptions(), cache_dir=str(cache))
+        assert stats.cache_evictions == 1
+        assert merged.to_text() == ref.to_text()
+
+    def test_corrupt_manifest_evicts_and_recompiles(self, tmp_path):
+        mains, cache, ref = self._seed(tmp_path)
+        faults.corrupt_cache_manifest(cache, n=1)
+        merged, stats = build(mains, BuildOptions(), cache_dir=str(cache))
+        assert stats.cache_evictions == 1
+        assert merged.to_text() == ref.to_text()
+
+    def test_missing_object_evicts_manifest_too(self, tmp_path):
+        mains, cache, _ = self._seed(tmp_path, n=1)
+        for p in (cache / "objects").glob("*.pdb"):
+            p.unlink()
+        bc = BuildCache(str(cache))
+        entry = bc.lookup(
+            BuildOptions().fingerprint(), mains[0], lambda n: Path(n).read_text()
+        )
+        assert entry is None
+        assert bc.stats.evictions == 1 and bc.stats.misses == 1
+        # the stale manifest was dropped with it
+        assert not list((cache / "manifests").glob("*.json"))
+
+    def test_permission_denied_is_a_counted_miss(self, tmp_path, monkeypatch):
+        # running as root makes chmod-based denial a no-op, so inject
+        # the PermissionError at the read itself
+        mains, cache, _ = self._seed(tmp_path, n=1)
+        real = Path.read_text
+
+        def denied(self, *a, **kw):
+            if self.suffix == ".pdb" and "objects" in str(self):
+                raise PermissionError(13, "Permission denied", str(self))
+            return real(self, *a, **kw)
+
+        monkeypatch.setattr(Path, "read_text", denied)
+        bc = BuildCache(str(cache))
+        entry = bc.lookup(
+            BuildOptions().fingerprint(), mains[0], lambda n: Path(n).read_text()
+        )
+        assert entry is None
+        assert bc.stats.evictions == 1 and bc.stats.misses == 1
+
+    def test_absent_entry_is_a_plain_miss_not_an_eviction(self, tmp_path):
+        bc = BuildCache(str(tmp_path / "cache"))
+        entry = bc.lookup("fp", "never-built.cpp", lambda n: None)
+        assert entry is None
+        assert bc.stats.misses == 1 and bc.stats.evictions == 0
+
+    def test_old_meta_without_sha_is_still_served(self, tmp_path):
+        # pre-/2 entries lack the sha256 field; they must not be evicted
+        mains, cache, ref = self._seed(tmp_path, n=1)
+        for p in (cache / "objects").glob("*.json"):
+            meta = json.loads(p.read_text())
+            meta.pop("sha256")
+            p.write_text(json.dumps(meta))
+        _, stats = build(mains, BuildOptions(), cache_dir=str(cache))
+        assert stats.cache_hits == 1 and stats.cache_evictions == 0
+
+
+# -- fault hooks are inert by default -----------------------------------
+
+
+class TestFaultHooksInert:
+    def test_no_env_no_effect(self, corpus10):
+        _, mains = corpus10
+        assert "PDBBUILD_FAULT_SLEEP" not in os.environ
+        assert "PDBBUILD_FAULT_EXIT" not in os.environ
+        _, stats = build(mains[:2], BuildOptions(), jobs=2)
+        assert stats.failures == [] and len(stats.tus) == 2
