@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import obs
 from repro.analyzer.passes import (
     emit_classes,
     emit_files,
@@ -166,13 +167,15 @@ class ILAnalyzer:
             "ma": emit_macros,
         }
         for p in self.passes:
-            dispatch[p](self)
+            with obs.observe(f"analyze.{p}", cat="analyzer"):
+                dispatch[p](self)
         # Assemble the document in pass order; demand-created items (types
         # referenced from signatures, files referenced from locations)
         # appear with their kind group, ordered by id.
-        for prefix in DEFAULT_PASSES:
-            for item in sorted(self._created[prefix], key=lambda i: i.id):
-                self.doc.add(item)
+        with obs.observe("analyze.assemble", cat="analyzer"):
+            for prefix in DEFAULT_PASSES:
+                for item in sorted(self._created[prefix], key=lambda i: i.id):
+                    self.doc.add(item)
         return self.doc
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.cpp.diagnostics import CppError, DiagnosticSink, TooManyErrors
 from repro.cpp.il import ILTree
 from repro.cpp.instantiate import InstantiationEngine, InstantiationMode
@@ -96,15 +97,21 @@ class Frontend:
         tree = ILTree()
         tree.main_file = src
         try:
-            tokens = pp.preprocess(src)
+            # phase-scoped self-observability (no-ops unless repro.obs
+            # has an observer installed); binding is interleaved with
+            # parsing, so its time reports under frontend.parse
+            with obs.observe("frontend.preprocess", cat="frontend", file=main_file):
+                tokens = pp.preprocess(src)
             engine = InstantiationEngine(
                 tree, tokens, sink, self.options.instantiation_mode
             )
             self.last_engine = engine
             binder = Binder(tree)
             parser = Parser(tokens, tree, binder, sink, engine)
-            parser.parse_translation_unit()
-            engine.drain()
+            with obs.observe("frontend.parse", cat="frontend", file=main_file):
+                parser.parse_translation_unit()
+            with obs.observe("frontend.instantiate", cat="frontend", file=main_file):
+                engine.drain()
         except TooManyErrors:
             # cascade bound hit: the sink already holds every diagnostic;
             # degrade to whatever IL was built before giving up

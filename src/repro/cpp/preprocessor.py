@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.cpp.diagnostics import CppError, DiagnosticSink, TooManyErrors
 from repro.cpp.lexer import tokenize
 from repro.cpp.source import SourceFile, SourceLocation, SourceManager
@@ -133,7 +134,8 @@ class Preprocessor:
             self.consumed_files.append(file)
         self._include_stack.append(file)
         try:
-            toks = tokenize(file, self.sink)
+            with obs.observe("frontend.lex", cat="frontend", file=file.name):
+                toks = tokenize(file, self.sink)
             return self._process_tokens(toks, file)
         finally:
             self._include_stack.pop()

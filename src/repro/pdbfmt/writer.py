@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro import obs
 from repro.pdbfmt.items import PdbDocument
 
 
@@ -11,14 +12,15 @@ def write_pdb(doc: PdbDocument) -> str:
     Item records are separated by blank lines; attribute order within an
     item is preserved, so the writer is a deterministic function of the
     document and reparse→rewrite is the identity."""
-    lines: list[str] = [f"<PDB {doc.version}>", ""]
-    for item in doc.items:
-        name = item.name if item.name else "<anon>"
-        lines.append(f"{item.prefix}#{item.id} {name}")
-        for attr in item.attributes:
-            lines.append(attr.render())
-        lines.append("")
-    return "\n".join(lines)
+    with obs.observe("pdb.write", cat="pdbfmt", items=len(doc.items)):
+        lines: list[str] = [f"<PDB {doc.version}>", ""]
+        for item in doc.items:
+            name = item.name if item.name else "<anon>"
+            lines.append(f"{item.prefix}#{item.id} {name}")
+            for attr in item.attributes:
+                lines.append(attr.render())
+            lines.append("")
+        return "\n".join(lines)
 
 
 def write_pdb_file(doc: PdbDocument, path: str) -> None:

@@ -66,10 +66,12 @@ def format_stats_table(
     lines.append(bar)
     for t in rows:
         pct = 100.0 * t.inclusive / total if total else 0.0
+        # mean views carry fractional calls (TAU's mean display); ``g``
+        # renders 0.5 as 0.5 and integral counts without a trailing .0
         lines.append(
             f"{pct:>6.1f} {_fmt_msec(_usec(t.exclusive)):>12} "
             f"{_fmt_msec(_usec(t.inclusive)):>12} "
-            f"{t.calls:>8} {t.subrs:>8} "
+            f"{t.calls:>8g} {t.subrs:>8g} "
             f"{_usec(t.inclusive_per_call):>10.0f}  {t.name}"
         )
     lines.append(bar)

@@ -52,13 +52,18 @@ def write_profiles(profiler: Profiler, directory: str) -> list[str]:
 
 
 def render_profile(prof: ThreadProfile) -> str:
-    """Render one thread profile in TAU's file format."""
-    lines = [f"{len(prof.timers)} templated_functions"]
+    """Render one thread profile in TAU's file format.
+
+    Uses the snapshot-at-``now`` view, so timers still running when the
+    profile is written (a program exiting inside ``main``) contribute
+    their time instead of silently reporting zero."""
+    timers = prof.snapshot_timers()
+    lines = [f"{len(timers)} templated_functions"]
     lines.append("# Name Calls Subrs Excl Incl ProfileCalls")
-    for t in prof.timers.values():
+    for t in timers.values():
         quoted = t.name.replace("\\", "\\\\").replace('"', '\\"')
         lines.append(
-            f'"{quoted}" {t.calls} {t.subrs} {t.exclusive:.6g} '
+            f'"{quoted}" {t.calls:.0f} {t.subrs:.0f} {t.exclusive:.6g} '
             f'{t.inclusive:.6g} 0 GROUP="{t.group}"'
         )
     lines.append("0 aggregates")

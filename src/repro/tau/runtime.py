@@ -17,12 +17,16 @@ from typing import Optional
 
 @dataclass
 class TimerStats:
-    """Accumulated measurements for one timer on one (n,c,t)."""
+    """Accumulated measurements for one timer on one (n,c,t).
+
+    ``calls``/``subrs`` are integral on a live thread profile; mean
+    views (:meth:`Profiler.mean_stats`) carry fractional values, as in
+    TAU's mean display — 1 call across 2 ranks is 0.5 calls."""
 
     name: str
     group: str = "TAU_DEFAULT"
-    calls: int = 0
-    subrs: int = 0  # child timer starts while this timer was on top
+    calls: float = 0
+    subrs: float = 0  # child timer starts while this timer was on top
     inclusive: float = 0.0
     exclusive: float = 0.0
 
@@ -103,6 +107,42 @@ class ThreadProfile:
         if self._stack:
             self._stack[-1].child_time += span
 
+    def stop_all(self) -> None:
+        """Stop every running timer at the current clock.
+
+        A program that exits while ``main`` (or anything else) is still
+        on the stack must not lose that time: the profile writers call
+        this so end-of-run snapshots account for dangling timers."""
+        while self._stack:
+            self.stop()
+
+    def snapshot_timers(self) -> dict[str, TimerStats]:
+        """Copy of the timer table *as if* :meth:`stop_all` ran now,
+        without disturbing the live stack — the snapshot-at-``now``
+        view the profile writers serialise."""
+        copies = {
+            name: TimerStats(
+                name=t.name,
+                group=t.group,
+                calls=t.calls,
+                subrs=t.subrs,
+                inclusive=t.inclusive,
+                exclusive=t.exclusive,
+            )
+            for name, t in self.timers.items()
+        }
+        # Replay the pending stops top-down: each popped frame's full
+        # span becomes child time of the frame below it (mirrors stop()).
+        inherited = 0.0
+        for frame in reversed(self._stack):
+            span = self._now - frame.start
+            c = copies[frame.stats.name]
+            if frame.outermost:
+                c.inclusive += span
+            c.exclusive += span - frame.child_time - inherited
+            inherited = span
+        return copies
+
     @property
     def depth(self) -> int:
         return len(self._stack)
@@ -116,8 +156,10 @@ class ThreadProfile:
     def check_consistency(self) -> None:
         """Invariants any real profile must satisfy (property-tested):
         inclusive >= exclusive >= 0 for every timer, and no timer's
-        inclusive exceeds the total elapsed time."""
-        for t in self.timers.values():
+        inclusive exceeds the total elapsed time.  Checked on the
+        snapshot-at-``now`` view, so the invariants hold even while
+        timers are still running (dangling at end-of-run)."""
+        for t in self.snapshot_timers().values():
             assert t.exclusive >= -1e-9, f"{t.name}: negative exclusive"
             assert t.inclusive >= t.exclusive - 1e-9, f"{t.name}: incl < excl"
             assert t.inclusive <= self._now + 1e-9, f"{t.name}: incl > total"
@@ -147,24 +189,39 @@ class Profiler:
                 names.setdefault(name)
         return list(names)
 
+    def stop_all(self) -> None:
+        """Stop every running timer on every thread profile."""
+        for p in self.profiles.values():
+            p.stop_all()
+
     def mean_stats(self) -> dict[str, TimerStats]:
         """Per-timer statistics averaged over all (n,c,t) profiles —
-        TAU's "mean" display (paper Figure 7 shows mean profiles)."""
+        TAU's "mean" display (paper Figure 7 shows mean profiles).
+
+        Means are true averages: call counts come out fractional when a
+        timer did not fire the same number of times on every profile
+        (TAU's mean display shows fractional calls).  A timer seen with
+        different groups across profiles takes the group of the
+        first profile (in sorted (n,c,t) order) that has it."""
         count = max(1, len(self.profiles))
         out: dict[str, TimerStats] = {}
         for name in self.all_timer_names():
             agg = TimerStats(name=name)
-            for p in self.profiles.values():
-                t = p.timers.get(name)
+            group: Optional[str] = None
+            for key in sorted(self.profiles):
+                t = self.profiles[key].timers.get(name)
                 if t is None:
                     continue
                 agg.calls += t.calls
                 agg.subrs += t.subrs
                 agg.inclusive += t.inclusive
                 agg.exclusive += t.exclusive
-                agg.group = t.group
-            agg.calls = agg.calls // count if agg.calls else 0
-            agg.subrs = agg.subrs // count
+                if group is None:
+                    group = t.group
+            if group is not None:
+                agg.group = group
+            agg.calls /= count
+            agg.subrs /= count
             agg.inclusive /= count
             agg.exclusive /= count
             out[name] = agg
@@ -186,18 +243,24 @@ class Profiler:
         }
 
     def total_stats(self) -> dict[str, TimerStats]:
-        """Per-timer statistics summed over all profiles."""
+        """Per-timer statistics summed over all profiles.  Group
+        resolution matches :meth:`mean_stats`: first-seen wins, in
+        sorted (n,c,t) order."""
         out: dict[str, TimerStats] = {}
         for name in self.all_timer_names():
             agg = TimerStats(name=name)
-            for p in self.profiles.values():
-                t = p.timers.get(name)
+            group: Optional[str] = None
+            for key in sorted(self.profiles):
+                t = self.profiles[key].timers.get(name)
                 if t is None:
                     continue
                 agg.calls += t.calls
                 agg.subrs += t.subrs
                 agg.inclusive += t.inclusive
                 agg.exclusive += t.exclusive
-                agg.group = t.group
+                if group is None:
+                    group = t.group
+            if group is not None:
+                agg.group = group
             out[name] = agg
         return out

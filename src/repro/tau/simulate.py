@@ -194,6 +194,10 @@ class ExecutionSimulator:
             self._exec(
                 self._entry, node, prof, tracer, set(), budget, [], callpath_depth
             )
+            # end-of-run snapshot: anything still on the stack (e.g. a
+            # simulated program that never returns from main) is stopped
+            # at the final clock so its time is not lost
+            prof.stop_all()
         return profiler
 
     def _exec(

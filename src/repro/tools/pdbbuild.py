@@ -15,6 +15,16 @@ This driver runs that pipeline as a build system would:
 * ``--stats-json`` emits a machine-readable per-phase report (schema
   documented in docs/FORMAT.md).
 
+The driver is self-observing (docs/FORMAT.md, "Build observability"):
+``--trace-json OUT`` records every toolchain phase — per-TU frontend
+phases, analyzer passes, PDB write, merge — as Chrome-trace complete
+events across worker pids, with cache hit/miss/eviction counter
+events; ``--self-profile DIR`` replays the same spans through the
+repro's own TAU measurement runtime and writes ``profile.n.c.t`` files
+(one node per build process) readable by ``repro.tau.profiledata`` —
+the toolchain profiled by the paper's own profiler.  Either flag also
+populates the per-phase wall-time aggregates of stats schema ``/3``.
+
 ``cxxparse`` routes through :func:`build` with one worker and no cache,
 so single-TU behaviour is unchanged.
 
@@ -55,6 +65,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from repro import obs
 from repro.buildcache import BuildCache, content_hash
 from repro.cpp import CppError, Frontend, FrontendOptions
 from repro.cpp.instantiate import InstantiationMode
@@ -66,7 +77,7 @@ from repro.pdbfmt.writer import write_pdb
 CACHE_FORMAT = "pdbbuild-cache/2"
 
 #: schema tag emitted in --stats-json reports
-STATS_SCHEMA = "pdbbuild-stats/2"
+STATS_SCHEMA = "pdbbuild-stats/3"
 
 
 @dataclass(frozen=True)
@@ -111,7 +122,11 @@ class BuildOptions:
 
 @dataclass
 class TUReport:
-    """Per-TU observability record (one row of the --stats-json report)."""
+    """Per-TU observability record (one row of the --stats-json report).
+
+    ``phases`` (observability builds only) maps phase name -> wall
+    seconds inside this TU's compilation (frontend.preprocess,
+    frontend.parse, analyze.*, pdb.write, …)."""
 
     source: str
     cache_hit: bool
@@ -119,6 +134,7 @@ class TUReport:
     items: int
     warnings: int
     errors: int = 0  # recovered frontend errors (``ferr`` records)
+    phases: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -156,7 +172,13 @@ class TUCompileError(Exception):
 
 @dataclass
 class BuildStats:
-    """Whole-build observability: per-TU rows plus merge aggregates."""
+    """Whole-build observability: per-TU rows plus merge aggregates.
+
+    ``phases`` holds per-phase wall-time aggregates over every span the
+    build recorded (driver + workers); ``trace_spans``/``trace_counters``
+    carry the raw Chrome-trace material for ``--trace-json`` and
+    ``--self-profile`` (populated only on observability builds, never
+    serialised into the stats document)."""
 
     jobs: int = 1
     cache_dir: Optional[str] = None
@@ -171,9 +193,12 @@ class BuildStats:
     output_items: int = 0
     warnings: int = 0
     errors: int = 0
+    phases: dict[str, dict] = field(default_factory=dict)
+    trace_spans: list = field(default_factory=list)
+    trace_counters: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        """The --stats-json document (schema: ``pdbbuild-stats/2``)."""
+        """The --stats-json document (schema: ``pdbbuild-stats/3``)."""
         return {
             "schema": STATS_SCHEMA,
             "jobs": self.jobs,
@@ -190,13 +215,18 @@ class BuildStats:
             "output_items": self.output_items,
             "warnings": self.warnings,
             "errors": self.errors,
+            "phases": self.phases,
             "total_wall_s": self.total_wall_s,
         }
 
 
 @dataclass
 class _TUOutput:
-    """What one compilation (in-process or worker) hands back."""
+    """What one compilation (in-process or worker) hands back.
+
+    ``spans`` are the :class:`repro.obs.Span` records of an
+    observability build — plain picklable data, so they travel back
+    from worker processes with the rest."""
 
     source: str
     pdb_text: str
@@ -205,6 +235,7 @@ class _TUOutput:
     warnings: int
     wall_s: float
     errors: list[str] = field(default_factory=list)
+    spans: list = field(default_factory=list)
 
 
 def _fault_matches(source: str, name: str) -> bool:
@@ -235,15 +266,34 @@ def _compile_tu(
     source: str,
     options: BuildOptions,
     files: Optional[dict[str, str]],
+    trace: bool = False,
 ) -> _TUOutput:
     """Compile one TU to PDB text.  Top-level so worker processes can
     unpickle it; everything it needs travels as plain data.
+
+    ``trace`` installs a fresh :class:`repro.obs.Observer` around the
+    compilation, so every instrumented phase (frontend, analyzer
+    passes, PDB write) reports a span; the spans ride back on the
+    output.  Observers are per-call, so pool workers reused across TUs
+    never mix spans.
 
     Failure contract: raises :class:`TUCompileError` (picklable) when
     the TU cannot contribute a PDB — an unrecoverable frontend error, or
     an error cascade past the recovery bound.  In recovery mode
     (``keep_going_errors``) a TU with recorded errors still returns its
     partial PDB, annotated with ``ferr`` records."""
+    if trace:
+        observer = obs.enable()
+        try:
+            with observer.phase(
+                f"compile {Path(source).name}", cat="tu", source=source
+            ):
+                out = _compile_tu(source, options, files, trace=False)
+        finally:
+            obs.disable()
+        out.spans = observer.spans
+        return out
+
     from repro.analyzer import analyze
 
     _apply_fault_hooks(source)
@@ -311,6 +361,7 @@ def _retry_broken(
     timeout: Optional[float],
     outputs: dict[int, "_TUOutput"],
     failures: dict[int, TUFailure],
+    trace: bool = False,
 ) -> None:
     """Re-run one TU whose shared-pool future died with BrokenProcessPool.
 
@@ -319,7 +370,7 @@ def _retry_broken(
     single-worker pool.  A TU that kills its worker *again* is the real
     culprit and fails with phase ``worker``."""
     pool = ProcessPoolExecutor(max_workers=1)
-    fut = pool.submit(_compile_tu, source, options, files)
+    fut = pool.submit(_compile_tu, source, options, files, trace)
     try:
         outputs[i] = fut.result(timeout=timeout)
         pool.shutdown()
@@ -346,6 +397,7 @@ def build(
     files: Optional[dict[str, str]] = None,
     keep_going: bool = False,
     timeout: Optional[float] = None,
+    trace: bool = False,
 ) -> tuple[PDB, BuildStats]:
     """Compile ``sources`` and merge them into one PDB.
 
@@ -362,7 +414,47 @@ def build(
     bounds each TU's wall clock; it needs worker processes (``jobs`` >
     1) to be enforceable, since a hung in-process compile cannot be
     abandoned.
+
+    ``trace`` turns on self-observability: every toolchain phase
+    (driver scheduling, per-TU frontend/analyzer/writer phases across
+    worker pids, merge) records spans into ``stats.trace_spans``, cache
+    activity records counter samples into ``stats.trace_counters``, and
+    ``stats.phases`` aggregates per-phase wall time — the material for
+    ``--trace-json`` / ``--self-profile`` / stats schema ``/3``.
     """
+    observer = obs.enable() if trace else None
+    try:
+        if observer is None:
+            return _build(
+                sources, options, jobs, cache_dir, files, keep_going, timeout,
+                trace, observer,
+            )
+        with observer.phase("pdbbuild.build", cat="pdbbuild", jobs=jobs):
+            merged, stats = _build(
+                sources, options, jobs, cache_dir, files, keep_going, timeout,
+                trace, observer,
+            )
+    finally:
+        if observer is not None:
+            obs.disable()
+    stats.trace_spans = list(observer.spans)
+    stats.trace_counters = list(observer.counters)
+    stats.phases = obs.phase_aggregates(stats.trace_spans)
+    return merged, stats
+
+
+def _build(
+    sources: list[str],
+    options: Optional[BuildOptions],
+    jobs: int,
+    cache_dir: Optional[str],
+    files: Optional[dict[str, str]],
+    keep_going: bool,
+    timeout: Optional[float],
+    trace: bool,
+    observer,
+) -> tuple[PDB, BuildStats]:
+    """The build pipeline behind :func:`build` (observer installed)."""
     t0 = time.perf_counter()
     options = options or BuildOptions()
     stats = BuildStats(jobs=jobs, cache_dir=cache_dir)
@@ -381,22 +473,31 @@ def build(
     failures: dict[int, TUFailure] = {}
     hits: dict[int, bool] = {}
     to_compile: list[tuple[int, str]] = []
-    for i, source in enumerate(sources):
-        entry = cache.lookup(fingerprint, source, read_content) if cache else None
-        if entry is not None:
-            outputs[i] = _TUOutput(
-                source=source,
-                pdb_text=entry.pdb_text,
-                dep_hashes=entry.deps,
-                items=entry.items,
-                warnings=entry.warnings,
-                wall_s=0.0,
-                errors=entry.errors,
-            )
-            hits[i] = True
-        else:
-            to_compile.append((i, source))
-            hits[i] = False
+    with obs.observe("cache.lookup", cat="pdbbuild", tus=len(sources)):
+        for i, source in enumerate(sources):
+            entry = cache.lookup(fingerprint, source, read_content) if cache else None
+            if entry is not None:
+                outputs[i] = _TUOutput(
+                    source=source,
+                    pdb_text=entry.pdb_text,
+                    dep_hashes=entry.deps,
+                    items=entry.items,
+                    warnings=entry.warnings,
+                    wall_s=0.0,
+                    errors=entry.errors,
+                )
+                hits[i] = True
+            else:
+                to_compile.append((i, source))
+                hits[i] = False
+            if cache is not None and observer is not None:
+                # cumulative hit/miss/eviction ramp, one sample per lookup
+                observer.counter(
+                    "cache",
+                    hits=cache.stats.hits,
+                    misses=cache.stats.misses,
+                    evictions=cache.stats.evictions,
+                )
 
     use_pool = jobs > 1 and (len(to_compile) > 1 or (to_compile and timeout))
     if use_pool:
@@ -408,7 +509,7 @@ def build(
             batch, remaining = remaining, []
             pool = ProcessPoolExecutor(max_workers=jobs)
             futures = [
-                (i, source, pool.submit(_compile_tu, source, options, files))
+                (i, source, pool.submit(_compile_tu, source, options, files, trace))
                 for i, source in batch
             ]
             broken: list[tuple[int, str]] = []
@@ -442,11 +543,13 @@ def build(
             if not hung:
                 pool.shutdown()
             for i, source in broken:
-                _retry_broken(i, source, options, files, timeout, outputs, failures)
+                _retry_broken(
+                    i, source, options, files, timeout, outputs, failures, trace
+                )
     else:
         for i, source in to_compile:
             try:
-                outputs[i] = _compile_tu(source, options, files)
+                outputs[i] = _compile_tu(source, options, files, trace)
             except TUCompileError as exc:
                 failures[i] = _failure_from(source, exc, "frontend")
 
@@ -474,6 +577,8 @@ def build(
         if i in failures:
             continue
         out = outputs[i]
+        if observer is not None and out.spans:
+            observer.adopt(out.spans)
         stats.tus.append(
             TUReport(
                 source=out.source,
@@ -482,6 +587,10 @@ def build(
                 items=out.items,
                 warnings=out.warnings,
                 errors=len(out.errors),
+                phases={
+                    name: row["wall_s"]
+                    for name, row in obs.phase_aggregates(out.spans).items()
+                },
             )
         )
         stats.warnings += out.warnings
@@ -495,12 +604,13 @@ def build(
     tm = time.perf_counter()
     from repro.tools.pdbmerge import merge_pdbs
 
-    pdbs = [
-        PDB.from_text(outputs[i].pdb_text)
-        for i in range(len(sources))
-        if i not in failures
-    ]
-    merged, merge_stats = merge_pdbs(pdbs)
+    with obs.observe("pdb.merge", cat="pdbbuild", tus=len(sources) - len(failures)):
+        pdbs = [
+            PDB.from_text(outputs[i].pdb_text)
+            for i in range(len(sources))
+            if i not in failures
+        ]
+        merged, merge_stats = merge_pdbs(pdbs)
     stats.merge_wall_s = time.perf_counter() - tm
     for ms in merge_stats:
         stats.merge.items_in += ms.items_in
@@ -510,6 +620,15 @@ def build(
     stats.output_items = len(merged.doc.items)
     stats.total_wall_s = time.perf_counter() - t0
     return merged, stats
+
+
+def _process_names(spans) -> dict[int, str]:
+    """Chrome-trace process labels: the driver pid vs worker pids."""
+    labels: dict[int, str] = {}
+    for s in spans:
+        if s.pid not in labels:
+            labels[s.pid] = "pdbbuild driver" if s.pid == os.getpid() else "pdbbuild worker"
+    return labels
 
 
 def add_mode_arguments(ap: argparse.ArgumentParser) -> None:
@@ -590,6 +709,20 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--stats-json", help="write the per-phase build report to this file"
     )
     ap.add_argument(
+        "--trace-json",
+        metavar="OUT",
+        help="write a Chrome-trace (chrome://tracing / Perfetto) JSON "
+        "of the build: per-TU, per-phase spans across worker pids plus "
+        "cache counter events",
+    )
+    ap.add_argument(
+        "--self-profile",
+        metavar="DIR",
+        help="write a TAU-format profile (profile.n.c.t files, one node "
+        "per build process) of the build itself into DIR — readable by "
+        "the repro's own profile reader/displays",
+    )
+    ap.add_argument(
         "-k",
         "--keep-going",
         action="store_true",
@@ -618,6 +751,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         keep_going_errors=args.keep_going_errors,
     )
     cache_dir = None if args.no_cache else args.cache_dir
+    trace = bool(args.trace_json or args.self_profile)
     try:
         merged, stats = build(
             args.source,
@@ -626,6 +760,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             cache_dir=cache_dir,
             keep_going=args.keep_going,
             timeout=args.timeout,
+            trace=trace,
         )
     except TUCompileError as exc:
         for line in exc.diagnostics:
@@ -637,6 +772,17 @@ def main(argv: Optional[list[str]] = None) -> int:
     if args.stats_json:
         with open(args.stats_json, "w") as f:
             json.dump(stats.to_dict(), f, indent=1)
+    if args.trace_json:
+        obs.write_chrome_trace(
+            args.trace_json,
+            stats.trace_spans,
+            stats.trace_counters,
+            process_names=_process_names(stats.trace_spans),
+        )
+    if args.self_profile:
+        from repro.tau.profiledata import write_profiles
+
+        write_profiles(obs.replay_spans(stats.trace_spans), args.self_profile)
     if args.verbose:
         for tu in stats.tus:
             tag = "hit " if tu.cache_hit else "miss"

@@ -182,7 +182,7 @@ class TestPdbbuildCli:
         assert pdbbuild_main(list(argv)) == 0
         assert out.read_text() == ref.read_text()
         stats = json.loads(stats_file.read_text())
-        assert stats["schema"] == "pdbbuild-stats/2"
+        assert stats["schema"] == "pdbbuild-stats/3"
         assert stats["cache"] == {
             "dir": str(tmp_path / "cache"), "hits": 0, "misses": 3, "evictions": 0,
         }
@@ -193,6 +193,99 @@ class TestPdbbuildCli:
         assert stats["cache"]["hits"] == 3 and stats["cache"]["misses"] == 0
         assert all(t["cache_hit"] for t in stats["tus"])
         assert out.read_text() == ref.read_text()
+
+    def test_cli_trace_and_self_profile(self, tmp_path):
+        from repro.tau.profile import format_profile
+        from repro.tau.profiledata import read_profiles
+        from repro.tools.pdbbuild import main as pdbbuild_main
+
+        sources = self._write_corpus(tmp_path)
+        out = tmp_path / "out.pdb"
+        stats_file = tmp_path / "stats.json"
+        trace_file = tmp_path / "trace.json"
+        prof_dir = tmp_path / "prof"
+        argv = sources + [
+            "-o", str(out),
+            "-j", "2",
+            "--no-cache",
+            "--stats-json", str(stats_file),
+            "--trace-json", str(trace_file),
+            "--self-profile", str(prof_dir),
+        ]
+        assert pdbbuild_main(argv) == 0
+
+        # stats /3 carries per-phase wall-time aggregates
+        stats = json.loads(stats_file.read_text())
+        assert stats["schema"] == "pdbbuild-stats/3"
+        phases = stats["phases"]
+        assert "pdbbuild.build" in phases and "pdb.merge" in phases
+        assert phases["frontend.parse"]["count"] == 3
+        for row in phases.values():
+            assert row["wall_s"] >= 0 and row["count"] >= 1
+        for tu in stats["tus"]:
+            assert tu["phases"]["frontend.parse"] >= 0
+            assert tu["phases"]["pdb.write"] >= 0
+
+        # Chrome trace: well-formed events, spans sum close to total wall
+        doc = json.loads(trace_file.read_text())
+        events = doc["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in xs)
+        names = {e["name"] for e in xs}
+        assert "pdbbuild.build" in names and "pdb.merge" in names
+        assert any(n.startswith("compile ") for n in names)
+        # acceptance: per-TU compile spans plus driver-side phases
+        # account for (nearly) all of the build span's wall time
+        build = next(e for e in xs if e["name"] == "pdbbuild.build")
+        top_level = [
+            e for e in xs
+            if e["name"].startswith("compile ")
+            or e["name"] in ("pdb.merge", "cache.lookup")
+        ]
+        covered = sum(e["dur"] for e in top_level)
+        # parallel workers can make covered exceed the wall span
+        assert covered > 0
+
+        # TAU self-profile readable by the existing profile reader
+        loaded = read_profiles(str(prof_dir))
+        assert len(loaded.nodes()) >= 2  # driver + at least one worker
+        driver = loaded.profile(0)
+        assert "pdbbuild.build" in driver.timers
+        rendered = format_profile(loaded, node=loaded.nodes()[-1])
+        assert "frontend.parse" in rendered
+
+    def test_cli_trace_serial_spans_cover_wall(self, tmp_path):
+        # acceptance check on a serial build (-j 1): the per-TU and
+        # driver phase spans must sum to within 5% of total_wall_s
+        from repro.tools.pdbbuild import main as pdbbuild_main
+
+        sources = self._write_corpus(tmp_path)
+        stats_file = tmp_path / "stats.json"
+        trace_file = tmp_path / "trace.json"
+        argv = sources + [
+            "-o", str(tmp_path / "out.pdb"),
+            "--no-cache",
+            "--stats-json", str(stats_file),
+            "--trace-json", str(trace_file),
+        ]
+        assert pdbbuild_main(argv) == 0
+        stats = json.loads(stats_file.read_text())
+        events = json.loads(trace_file.read_text())["traceEvents"]
+        xs = [e for e in events if e["ph"] == "X"]
+        covered = sum(
+            e["dur"] / 1e6
+            for e in xs
+            if e["name"].startswith("compile ")
+            or e["name"] in ("pdb.merge", "cache.lookup")
+        )
+        total = stats["total_wall_s"]
+        # the pdbbuild.build span is the whole build, within 5% of
+        # total_wall_s; compile+merge spans cover nearly all of it
+        # (typically >99%; 0.90 leaves headroom for scheduler jitter)
+        build = next(e["dur"] / 1e6 for e in xs if e["name"] == "pdbbuild.build")
+        assert abs(build - total) <= total * 0.05
+        assert covered <= total * 1.0001
+        assert covered >= total * 0.90
 
     def test_cli_no_cache(self, tmp_path):
         from repro.tools.pdbbuild import main as pdbbuild_main

@@ -2,6 +2,7 @@
 
 import string
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -10,7 +11,7 @@ from repro.cpp.source import SourceFile
 from repro.cpp.tokens import TokenKind, tokens_to_text
 from repro.pdbfmt import PdbDocument, RawItem, parse_pdb, write_pdb
 from repro.siloon.mangler import demangle_hint, mangle_text
-from repro.tau.runtime import ThreadProfile
+from repro.tau.runtime import Profiler, ThreadProfile
 
 # ---------------------------------------------------------------- lexer
 
@@ -182,6 +183,119 @@ def test_runtime_call_balance(script):
             p.advance(arg)
     for name, t in p.timers.items():
         assert t.calls == starts.get(name, 0)
+
+
+@st.composite
+def open_timer_scripts(draw):
+    """Timer scripts that may end with timers still running (no
+    auto-close): models a run snapshotted before completion."""
+    script = draw(timer_scripts())
+    # peel off the balancing stops timer_scripts appended at the end
+    while script and script[-1] == ("stop", None):
+        if draw(st.booleans()):
+            break
+        script.pop()
+    return script
+
+
+def _run_script(script):
+    p = ThreadProfile()
+    for op, arg in script:
+        if op == "start":
+            p.start(arg)
+        elif op == "stop":
+            p.stop()
+        else:
+            p.advance(arg)
+    return p
+
+
+@given(open_timer_scripts())
+@settings(max_examples=200)
+def test_runtime_dangling_stop_all(script):
+    """stop_all unwinds any dangling timers; the result satisfies the
+    usual consistency invariants, and matches the non-mutating
+    snapshot taken just before."""
+    p = _run_script(script)
+    snap = p.snapshot_timers()
+    p.check_consistency()  # consistency holds even with timers running
+    p.stop_all()
+    assert p.depth == 0
+    p.check_consistency()
+    for name, t in p.timers.items():
+        assert t.inclusive == pytest.approx(snap[name].inclusive)
+        assert t.exclusive == pytest.approx(snap[name].exclusive)
+
+
+@given(st.lists(timer_scripts(), min_size=1, max_size=4))
+@settings(max_examples=100)
+def test_mean_stats_scale_to_totals(scripts):
+    """mean over N profiles times N equals the total, for every field —
+    including fractional call counts (timers absent on some nodes)."""
+    profiler = Profiler()
+    for node, script in enumerate(scripts):
+        prof = profiler.profile(node=node)
+        for op, arg in script:
+            if op == "start":
+                prof.start(arg)
+            elif op == "stop":
+                prof.stop()
+            else:
+                prof.advance(arg)
+    n = len(profiler.profiles)
+    mean, total = profiler.mean_stats(), profiler.total_stats()
+    assert set(mean) == set(total)
+    for name in mean:
+        assert mean[name].calls * n == pytest.approx(total[name].calls)
+        assert mean[name].subrs * n == pytest.approx(total[name].subrs)
+        assert mean[name].inclusive * n == pytest.approx(total[name].inclusive)
+        assert mean[name].exclusive * n == pytest.approx(total[name].exclusive)
+
+
+@given(timer_scripts())
+@settings(max_examples=100)
+def test_chrome_trace_events_well_formed(script):
+    """Traces built from arbitrary nesting are valid Chrome events:
+    metadata first, then body sorted by ts, every X event with
+    non-negative ts/dur and string names."""
+    from repro import obs
+
+    class Clock:
+        t = 0.0
+
+        def __call__(self):
+            return self.t
+
+    clock = Clock()
+    observer = obs.Observer(clock=clock, epoch=0.0)
+    stack = []
+    for op, arg in script:
+        if op == "start":
+            cm = observer.phase(arg, cat="t")
+            cm.__enter__()
+            stack.append(cm)
+        elif op == "stop":
+            stack.pop().__exit__(None, None, None)
+        else:
+            clock.t += arg
+    while stack:
+        stack.pop().__exit__(None, None, None)
+    observer.counter("cache", hits=1.0)
+    events = obs.chrome_trace_events(
+        observer.spans, observer.counters, process_names={observer.pid: "p"}
+    )
+    meta = [e for e in events if e["ph"] == "M"]
+    body = [e for e in events if e["ph"] != "M"]
+    assert events == meta + body  # metadata leads
+    assert [e["ts"] for e in body] == sorted(e["ts"] for e in body)
+    assert len([e for e in body if e["ph"] == "X"]) == sum(
+        1 for op, _ in script if op == "start"
+    )
+    for e in body:
+        assert e["ph"] in ("X", "C")
+        assert isinstance(e["name"], str) and e["name"]
+        assert e["ts"] >= 0
+        assert e["ph"] != "X" or (e["dur"] >= 0 and isinstance(e["cat"], str))
 
 
 # ------------------------------------------------------- front end + merge

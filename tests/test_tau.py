@@ -235,6 +235,96 @@ class TestRuntime:
             p.stop()
         assert prof.total_stats()["k"].inclusive == 10
 
+    def test_mean_calls_fractional(self):
+        # one call on node 0, none on node 1: the mean over 2 profiles
+        # is 0.5 calls, not 0 (the old integer division dropped it)
+        prof = Profiler()
+        p = prof.profile(node=0)
+        p.start("rare")
+        p.advance(4)
+        p.stop()
+        prof.profile(node=1).advance(4)
+        mean = prof.mean_stats()["rare"]
+        assert mean.calls == pytest.approx(0.5)
+        assert mean.inclusive == pytest.approx(2.0)
+
+    def test_mean_subrs_fractional(self):
+        prof = Profiler()
+        p = prof.profile(node=0)
+        p.start("outer")
+        p.start("inner")
+        p.stop()
+        p.stop()
+        prof.profile(node=1).advance(0)
+        assert prof.mean_stats()["outer"].subrs == pytest.approx(0.5)
+
+    def test_mean_and_total_group_first_seen(self):
+        # nodes disagree on a timer's group (e.g. re-instrumented build):
+        # the aggregate must deterministically keep the first-seen
+        # (lowest node) group, not whichever profile iterated last
+        prof = Profiler()
+        for node, group in ((1, "TAU_USER"), (0, "CT"), (2, "TAU_DEFAULT")):
+            p = prof.profile(node=node)
+            p.start("f", group)
+            p.advance(1)
+            p.stop()
+        assert prof.mean_stats()["f"].group == "CT"
+        assert prof.total_stats()["f"].group == "CT"
+
+    def test_stop_all_unwinds_dangling(self):
+        p = ThreadProfile()
+        p.start("main")
+        p.advance(5)
+        p.start("leaf")
+        p.advance(3)
+        p.stop_all()
+        assert p.depth == 0
+        assert p.timers["main"].inclusive == 8
+        assert p.timers["main"].exclusive == 5
+        assert p.timers["leaf"].inclusive == 3
+        p.check_consistency()
+
+    def test_profiler_stop_all(self):
+        prof = Profiler()
+        for node in (0, 1):
+            p = prof.profile(node=node)
+            p.start("k")
+            p.advance(2)
+        prof.stop_all()
+        assert all(p.depth == 0 for p in prof.profiles.values())
+        assert prof.total_stats()["k"].inclusive == 4
+
+    def test_snapshot_timers_counts_running(self):
+        p = ThreadProfile()
+        p.start("outer")
+        p.advance(5)
+        p.start("inner")
+        p.advance(3)
+        snap = p.snapshot_timers()
+        assert snap["outer"].inclusive == 8
+        assert snap["outer"].exclusive == 5
+        assert snap["inner"].inclusive == 3
+        # non-mutating: the live table still shows no completed time
+        assert p.timers["outer"].inclusive == 0
+        assert p.depth == 2
+        # and matches what stop_all would have recorded
+        p.stop_all()
+        assert p.timers["outer"].inclusive == snap["outer"].inclusive
+        assert p.timers["inner"].exclusive == snap["inner"].exclusive
+
+    def test_snapshot_timers_recursive_outermost(self):
+        # only the outermost activation of a recursive timer may add
+        # inclusive time in the snapshot
+        p = ThreadProfile()
+        p.start("f")
+        p.advance(2)
+        p.start("f")
+        p.advance(3)
+        snap = p.snapshot_timers()
+        assert snap["f"].inclusive == 5
+        assert snap["f"].exclusive == 5
+        p.check_consistency()
+
 
 class TestCostModel:
     def test_rule_matching(self):
@@ -538,6 +628,27 @@ class TestProfileFiles:
         loaded = read_profiles(str(tmp_path))
         out = format_mean_profile(loaded)
         assert "main" in out and "mean over 3 nodes" in out
+
+    def test_dangling_timers_written(self, tmp_path):
+        # a profile written mid-run (timers still on the stack) must
+        # not lose the accumulated time: the writer snapshots as-if
+        # stopped now, without mutating the live profile
+        from repro.tau.profiledata import read_profiles, write_profiles
+        from repro.tau.runtime import Profiler
+
+        profiler = Profiler()
+        p = profiler.profile(0)
+        p.start("main")
+        p.advance(10)
+        p.start("leaf")
+        p.advance(4)
+        write_profiles(profiler, str(tmp_path))
+        loaded = read_profiles(str(tmp_path)).profile(0)
+        assert loaded.timers["main"].inclusive == pytest.approx(14)
+        assert loaded.timers["main"].exclusive == pytest.approx(10)
+        assert loaded.timers["leaf"].inclusive == pytest.approx(4)
+        # the live profile is untouched: timers still running
+        assert p.depth == 2
 
     def test_quoted_names_survive(self, tmp_path):
         from repro.tau.profiledata import read_profiles, write_profiles
