@@ -68,6 +68,8 @@ def test_e4_hierarchy_is_exactly_figure4(benchmark):
         "PdbSimpleItem", "PdbFile", "PdbItem", "PdbMacro", "PdbType",
         "PdbFatItem", "PdbTemplate", "PdbNamespace", "PdbTemplateItem",
         "PdbClass", "PdbRoutine",
+        # repro extension beyond Figure 4: frontend error records
+        "PdbFerr",
     }
 
 

@@ -1,0 +1,57 @@
+"""repro.check — whole-program static-analysis passes over the PDB.
+
+The paper frames PDT as "a framework for building static analysis
+tools" on top of the PDB/DUCTAPE interface; this package is that next
+consumer: a pluggable pass framework (:mod:`repro.check.core`) with
+five built-in checkers —
+
+========  =======================  ==========================================
+check     rules                    finds
+========  =======================  ==========================================
+deadcode  PDT001                   unreachable mutually-recursive clusters
+bloat     PDT011, PDT012           unused template instantiations
+odr       PDT021, PDT022           cross-TU One-Definition-Rule conflicts
+hierarchy PDT031, PDT032           missing virtual dtors, hidden virtuals
+includes  PDT041, PDT042           contribution-free includes, include cycles
+========  =======================  ==========================================
+
+— plus three reporters (text / JSON ``pdbcheck-findings/1`` / SARIF
+2.1.0, :mod:`repro.check.report`) and select-file-style suppressions
+(:mod:`repro.check.suppress`).  The CLI lives in
+:mod:`repro.tools.pdbcheck`; ``pdbbuild --check`` runs the same passes
+on its merged output.
+"""
+
+from repro.check.core import (
+    Check,
+    CheckContext,
+    CheckReport,
+    Finding,
+    Rule,
+    all_checks,
+    all_rules,
+    register,
+    resolve_selection,
+    run_checks,
+)
+from repro.check.report import render_json, render_sarif, render_text, to_json_dict, to_sarif_dict
+from repro.check.suppress import Suppressions
+
+__all__ = [
+    "Check",
+    "CheckContext",
+    "CheckReport",
+    "Finding",
+    "Rule",
+    "Suppressions",
+    "all_checks",
+    "all_rules",
+    "register",
+    "resolve_selection",
+    "run_checks",
+    "render_text",
+    "render_json",
+    "render_sarif",
+    "to_json_dict",
+    "to_sarif_dict",
+]

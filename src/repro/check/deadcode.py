@@ -1,0 +1,80 @@
+"""Dead-routine detection (PDT001).
+
+:class:`~repro.ductape.callgraph.CallTree` finds its roots as "routines
+nobody calls" — so a mutually-recursive cluster with no external caller
+has *no* roots at all and the whole cluster silently disappears from
+every ``pdbtree`` rendering.  This check runs reachability over the
+Tarjan SCC condensation instead: entry points are ``main``, any
+user-supplied ``--entry`` names, and every acyclic routine nobody calls
+(the conservative equivalent of the tree roots — an uncalled plain
+routine may be an exported API).  What remains unreachable is exactly
+the set of cyclic orphan clusters and code only they can reach.
+"""
+
+from __future__ import annotations
+
+from repro.check.core import Check, CheckContext, Finding, Rule, register
+from repro.check.graph import Condensation
+
+DEAD_ROUTINE = Rule(
+    id="PDT001",
+    name="dead-routine",
+    severity="warning",
+    summary="Routine is unreachable from every entry point "
+    "(member of, or only called from, a mutually-recursive cluster with no external entry)",
+)
+
+
+@register
+class DeadCodeCheck(Check):
+    name = "deadcode"
+    rules = (DEAD_ROUTINE,)
+
+    def run(self, ctx: CheckContext) -> list[Finding]:
+        routines = ctx.routines
+        by_ref = {r.ref: r for r in routines}
+        callees = ctx.callees_map()
+        succ_map = {
+            r.ref: [callee.ref for callee in callees[r.ref]] for r in routines
+        }
+        cond = Condensation([r.ref for r in routines], lambda ref: succ_map[ref])
+
+        entry_names = {"main", *ctx.entries}
+        entry_comps = set()
+        for ci in range(len(cond.sccs)):
+            # acyclic, uncalled routines are the CallTree.roots analogue
+            if cond.comp_preds[ci] == 0 and not cond.is_cycle(ci):
+                entry_comps.add(ci)
+        for r in routines:
+            if r.name() in entry_names or r.fullName() in entry_names:
+                entry_comps.add(cond.comp_of[r.ref])
+        live = cond.reachable_from(entry_comps)
+
+        findings: list[Finding] = []
+        for ci, comp in enumerate(cond.sccs):
+            if ci in live:
+                continue
+            cluster = [by_ref[ref] for ref in comp]
+            names = ", ".join(sorted(r.fullName() for r in cluster))
+            for r in cluster:
+                if cond.is_cycle(ci):
+                    msg = (
+                        f"routine '{r.fullName()}' is never reached: it belongs to a "
+                        f"mutually-recursive cluster {{{names}}} with no external entry"
+                    )
+                else:
+                    msg = (
+                        f"routine '{r.fullName()}' is only reachable from dead code"
+                    )
+                loc = r.location()
+                findings.append(
+                    Finding(
+                        rule=DEAD_ROUTINE,
+                        item=r.fullName(),
+                        message=msg,
+                        file=loc.file().name() if loc.known else None,
+                        line=loc.line(),
+                        column=loc.col(),
+                    )
+                )
+        return findings

@@ -1,0 +1,180 @@
+"""Reporters: human text, JSON (``pdbcheck-findings/1``), SARIF 2.1.0.
+
+All three render the same :class:`~repro.check.core.CheckReport`; the
+SARIF output follows the OASIS 2.1.0 schema (one run, the rules as
+``reportingDescriptor`` objects, one ``result`` per finding) so GitHub
+code-scanning and other CI annotators can ingest it directly.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.check.core import SEVERITIES, CheckReport, Finding, all_rules
+
+#: schema tag of the JSON report
+JSON_SCHEMA = "pdbcheck-findings/1"
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "pdbcheck"
+TOOL_URI = "https://github.com/paper-repro/pdt-repro"
+
+
+def _tool_version() -> str:
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:
+        return "0.0.0"
+
+
+# ------------------------------------------------------------------ text
+
+
+def render_text(report: CheckReport, verbose: bool = False) -> str:
+    """Compiler-style one-line-per-finding text, plus a summary line."""
+    lines = [f.render() for f in report.findings]
+    counts = ", ".join(
+        f"{report.count(sev)} {sev}{'s' if report.count(sev) != 1 else ''}"
+        for sev in SEVERITIES
+        if report.count(sev)
+    )
+    total = len(report.findings)
+    summary = f"{total} finding{'s' if total != 1 else ''}"
+    if counts:
+        summary += f" ({counts})"
+    if report.suppressed:
+        summary += f", {report.suppressed} suppressed"
+    summary += f" — checks run: {', '.join(report.checks_run)}"
+    lines.append(summary)
+    if verbose:
+        for name in report.checks_run:
+            lines.append(f"  {name}: {report.timings[name] * 1e3:.2f} ms")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ JSON
+
+
+def _finding_dict(f: Finding) -> dict:
+    d = {
+        "rule": f.rule.id,
+        "name": f.rule.name,
+        "severity": f.rule.severity,
+        "item": f.item,
+        "message": f.message,
+        "file": f.file,
+        "line": f.line,
+        "column": f.column,
+    }
+    if f.related:
+        d["related"] = [
+            {"message": msg, "file": file, "line": line} for msg, file, line in f.related
+        ]
+    return d
+
+
+def to_json_dict(report: CheckReport) -> dict:
+    """The ``pdbcheck-findings/1`` report object."""
+    return {
+        "schema": JSON_SCHEMA,
+        "tool": {"name": TOOL_NAME, "version": _tool_version()},
+        "summary": {
+            "findings": len(report.findings),
+            "errors": report.count("error"),
+            "warnings": report.count("warning"),
+            "notes": report.count("note"),
+            "suppressed": report.suppressed,
+            "rules": report.rule_counts,
+        },
+        "checks": {
+            name: {"wall_s": report.timings[name]} for name in report.checks_run
+        },
+        "findings": [_finding_dict(f) for f in report.findings],
+    }
+
+
+def render_json(report: CheckReport) -> str:
+    return json.dumps(to_json_dict(report), indent=2, sort_keys=False)
+
+
+# ----------------------------------------------------------------- SARIF
+
+
+def to_sarif_dict(report: CheckReport) -> dict:
+    """A SARIF 2.1.0 log: one run, every registered rule described."""
+    rules = all_rules()
+    rule_index = {r.id: i for i, r in enumerate(rules)}
+    results = []
+    for f in report.findings:
+        result: dict = {
+            "ruleId": f.rule.id,
+            "ruleIndex": rule_index[f.rule.id],
+            "level": f.rule.severity,
+            "message": {"text": f.message},
+        }
+        if f.file:
+            result["locations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.file.lstrip("/")},
+                        "region": {
+                            "startLine": max(1, f.line),
+                            "startColumn": max(1, f.column),
+                        },
+                    }
+                }
+            ]
+        if f.related:
+            result["relatedLocations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": file.lstrip("/")},
+                        "region": {"startLine": max(1, line)},
+                    },
+                    "message": {"text": msg},
+                }
+                for msg, file, line in f.related
+            ]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": TOOL_URI,
+                        "version": _tool_version(),
+                        "rules": [
+                            {
+                                "id": r.id,
+                                "name": r.name,
+                                "shortDescription": {"text": r.summary},
+                                "defaultConfiguration": {"level": r.severity},
+                            }
+                            for r in rules
+                        ],
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(report: CheckReport) -> str:
+    return json.dumps(to_sarif_dict(report), indent=2, sort_keys=False)
+
+
+RENDERERS = {
+    "text": render_text,
+    "json": render_json,
+    "sarif": render_sarif,
+}

@@ -1,0 +1,57 @@
+"""Finding suppression via TAU select-file conventions.
+
+The same file format (and parser) TAU uses to scope instrumentation
+(:mod:`repro.tau.selectfile`) scopes findings here::
+
+    BEGIN_EXCLUDE_LIST
+    PDT001:legacy::#
+    helper#
+    END_EXCLUDE_LIST
+
+    BEGIN_FILE_EXCLUDE_LIST
+    third_party/*
+    END_FILE_EXCLUDE_LIST
+
+Name patterns (``#`` = multi-character wildcard) match a finding's
+*item* name both bare and prefixed with its rule id (``PDT001:name``),
+so a suppression can target one rule or every rule for an item.  File
+patterns are ``fnmatch`` globs against the finding's file.  Include
+lists, when present, are exhaustive — only matching findings are kept.
+"""
+
+from __future__ import annotations
+
+from repro.check.core import Finding
+from repro.tau.selectfile import SelectiveRules
+
+
+class Suppressions:
+    """A keep/drop predicate over findings, from select-file rules."""
+
+    def __init__(self, rules: SelectiveRules):
+        self.rules = rules
+
+    @classmethod
+    def from_text(cls, text: str) -> "Suppressions":
+        return cls(SelectiveRules.parse(text))
+
+    @classmethod
+    def load(cls, path: str) -> "Suppressions":
+        with open(path) as f:
+            return cls.from_text(f.read())
+
+    def __call__(self, finding: Finding) -> bool:
+        """True when the finding is *kept* (not suppressed)."""
+        if finding.file and not self.rules.allows_file(finding.file):
+            return False
+        tagged = f"{finding.rule.id}:{finding.item}"
+        if self.rules.include:
+            if not (
+                self.rules.allows_routine(finding.item)
+                or self.rules.allows_routine(tagged)
+            ):
+                return False
+            return True
+        return self.rules.allows_routine(finding.item) and self.rules.allows_routine(
+            tagged
+        )

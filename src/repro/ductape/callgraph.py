@@ -42,24 +42,35 @@ class CallTree:
         """DFS yielding (routine, depth, is_virtual_call, is_cycle).
 
         Cycles are detected with the routine flag, exactly as
-        printFuncTree does in paper Figure 5."""
-
-        def rec(r: PdbRoutine, depth: int):
-            r.flag(ACTIVE)
-            try:
-                for call in r.callees():
-                    callee = call.call()
-                    if callee is None:
-                        continue
-                    cyclic = callee.flag() == ACTIVE
-                    yield callee, depth, call.isVirtual(), cyclic
-                    if not cyclic:
-                        yield from rec(callee, depth + 1)
-            finally:
-                r.flag(INACTIVE)
-
+        printFuncTree does in paper Figure 5.  The traversal is an
+        explicit-stack DFS: call chains from the scaling corpora go
+        deeper than Python's recursion limit allows a recursive
+        generator to."""
         yield root, -1, False, False
-        yield from rec(root, 0)
+        root.flag(ACTIVE)
+        stack: list[tuple[PdbRoutine, Iterator, int]] = [
+            (root, iter(root.callees()), 0)
+        ]
+        try:
+            while stack:
+                r, calls, depth = stack[-1]
+                call = next(calls, None)
+                if call is None:
+                    stack.pop()
+                    r.flag(INACTIVE)
+                    continue
+                callee = call.call()
+                if callee is None:
+                    continue
+                cyclic = callee.flag() == ACTIVE
+                yield callee, depth, call.isVirtual(), cyclic
+                if not cyclic:
+                    callee.flag(ACTIVE)
+                    stack.append((callee, iter(callee.callees()), depth + 1))
+        finally:
+            # a closed (abandoned) generator must still reset the flags
+            for r, _calls, _depth in stack:
+                r.flag(INACTIVE)
 
     def reachable_from(self, root: PdbRoutine) -> list[PdbRoutine]:
         seen: dict = {}

@@ -18,6 +18,8 @@ class ClassHierarchy:
         self.classes = pdb.getClassVec()
         #: classes with no bases — hierarchy roots
         self.roots = [c for c in self.classes if not c.baseClasses()]
+        #: memo for :meth:`depth_of` (class ref -> depth)
+        self._depths: dict = {}
 
     def derived(self, cls: PdbClass) -> list[PdbClass]:
         return cls.derivedClasses()
@@ -36,11 +38,43 @@ class ClassHierarchy:
         yield from rec(root, 0)
 
     def depth_of(self, cls: PdbClass) -> int:
-        """Longest base-class chain above ``cls``."""
-        bases = cls.baseClasses()
-        if not bases:
-            return 0
-        return 1 + max(self.depth_of(b) for _, _, b in bases)
+        """Longest base-class chain above ``cls``.
+
+        Memoized — a diamond hierarchy revisits shared bases once, not
+        2^depth times — and iterative, with a cycle guard: malformed
+        base-class data (``A -> B -> A``) raises ``ValueError`` naming
+        the cycle instead of blowing the recursion limit.
+        """
+        memo = self._depths
+        if cls.ref in memo:
+            return memo[cls.ref]
+        visiting: set = set()
+        # (class, its bases, next base index) — post-order evaluation
+        stack = [(cls, [b for _, _, b in cls.baseClasses()], 0)]
+        visiting.add(cls.ref)
+        while stack:
+            c, bases, i = stack.pop()
+            while i < len(bases):
+                b = bases[i]
+                if b.ref in memo:
+                    i += 1
+                    continue
+                if b.ref in visiting:
+                    cycle = " -> ".join(
+                        [x.fullName() for x, _, _ in stack]
+                        + [c.fullName(), b.fullName()]
+                    )
+                    raise ValueError(f"class hierarchy cycle: {cycle}")
+                stack.append((c, bases, i))
+                stack.append((b, [bb for _, _, bb in b.baseClasses()], 0))
+                visiting.add(b.ref)
+                break
+            else:
+                memo[c.ref] = (
+                    1 + max(memo[b.ref] for b in bases) if bases else 0
+                )
+                visiting.discard(c.ref)
+        return memo[cls.ref]
 
     def render(self) -> str:
         lines: list[str] = []

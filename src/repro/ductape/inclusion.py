@@ -24,18 +24,20 @@ class InclusionTree:
         return f.includes()
 
     def walk(self, root: PdbFile) -> Iterator[tuple[PdbFile, int]]:
-        """Depth-first (file, depth) pairs; repeated files are cut."""
-        seen: set = set()
+        """Depth-first (file, depth) pairs; repeated files are cut.
 
-        def rec(f: PdbFile, depth: int):
+        Explicit-stack preorder DFS — include chains from the scaling
+        corpora can exceed Python's recursion limit."""
+        seen: set = set()
+        stack: list[tuple[PdbFile, int]] = [(root, 0)]
+        while stack:
+            f, depth = stack.pop()
             yield f, depth
             if f.ref in seen:
-                return
+                continue
             seen.add(f.ref)
-            for inc in f.includes():
-                yield from rec(inc, depth + 1)
-
-        yield from rec(root, 0)
+            for inc in reversed(f.includes()):
+                stack.append((inc, depth + 1))
 
     def render(self) -> str:
         """Indented text rendering, one root per block."""

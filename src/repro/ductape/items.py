@@ -140,10 +140,20 @@ class PdbItem(PdbSimpleItem):
         return self._loc_attr(self._loc_key)
 
     def parentClass(self) -> Optional["PdbClass"]:
-        return self._ref_attr(self._class_key) if self._class_key else None
+        # cached: raw parent refs never change during a wrapper's life
+        # (merge clones items and rebuilds every wrapper via _reindex)
+        if "_parent_class" not in self.__dict__:
+            self.__dict__["_parent_class"] = (
+                self._ref_attr(self._class_key) if self._class_key else None
+            )
+        return self.__dict__["_parent_class"]
 
     def parentNamespace(self) -> Optional["PdbNamespace"]:
-        return self._ref_attr(self._nspace_key) if self._nspace_key else None
+        if "_parent_nspace" not in self.__dict__:
+            self.__dict__["_parent_nspace"] = (
+                self._ref_attr(self._nspace_key) if self._nspace_key else None
+            )
+        return self.__dict__["_parent_nspace"]
 
     def parent(self) -> Optional[PdbSimpleItem]:
         return self.parentClass() or self.parentNamespace()
@@ -152,6 +162,9 @@ class PdbItem(PdbSimpleItem):
         return self._word_attr(self._acs_key, "NA") if self._acs_key else "NA"
 
     def fullName(self) -> str:
+        cached = self.__dict__.get("_full_name")
+        if cached is not None:
+            return cached
         parts = [self.name()]
         p = self.parent()
         guard = 0
@@ -159,7 +172,9 @@ class PdbItem(PdbSimpleItem):
             parts.append(p.name())
             p = p.parent() if isinstance(p, PdbItem) else None
             guard += 1
-        return "::".join(reversed(parts))
+        full = "::".join(reversed(parts))
+        self.__dict__["_full_name"] = full
+        return full
 
 
 class PdbMacro(PdbItem):
@@ -278,13 +293,21 @@ class PdbFatItem(PdbItem):
         return self._pos_loc(3)
 
     def _pos_loc(self, index: int) -> PdbLoc:
-        locs = self._raw.get_positions(self._pos_key)
-        if locs is None or index >= len(locs):
+        resolved = self.__dict__.get("_pos_locs")
+        if resolved is None:
+            locs = self._raw.get_positions(self._pos_key) or []
+            resolved = [
+                PdbLoc(
+                    self._resolve(loc.file) if loc.file is not None else None,
+                    loc.line,
+                    loc.column,
+                )
+                for loc in locs
+            ]
+            self.__dict__["_pos_locs"] = resolved
+        if index >= len(resolved):
             return PdbLoc(None, 0, 0)
-        loc = locs[index]
-        if loc.file is None:
-            return PdbLoc(None, loc.line, loc.column)
-        return PdbLoc(self._resolve(loc.file), loc.line, loc.column)
+        return resolved[index]
 
 
 class PdbTemplate(PdbFatItem):

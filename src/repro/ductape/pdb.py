@@ -40,6 +40,9 @@ class MergeStats:
     items_added: int = 0
     duplicates_eliminated: int = 0
     duplicate_instantiations: int = 0
+    #: incoming *definition* items whose entity already had a different
+    #: definition here — One-Definition-Rule conflicts (see ``odr_log``)
+    odr_conflicts: int = 0
 
 
 class PDB:
@@ -168,16 +171,27 @@ class PDB:
 
     # -- merge ------------------------------------------------------------------
 
-    def merge(self, other: "PDB") -> MergeStats:
+    def merge(self, other: "PDB", odr_log: Optional[list] = None) -> MergeStats:
         """Merge ``other`` into this PDB, eliminating duplicate items —
         in particular duplicate template instantiations from separate
-        compilations (paper Table 2, pdbmerge)."""
+        compilations (paper Table 2, pdbmerge).
+
+        One-Definition-Rule bookkeeping rides along: an incoming
+        *definition* item (a routine with a body, a located class) whose
+        entity already has a *different* definition here bumps
+        ``odr_conflicts``; pass ``odr_log`` (a list) to also collect one
+        detail dict per conflict (``pdbmerge --check`` prints these).
+        """
         stats = MergeStats(items_in=len(other.doc.items))
         self_index = self.doc.index()
         other_index = other.doc.index()
         self_keys: dict[tuple, RawItem] = {}
+        self_odr: dict[tuple, RawItem] = {}
         for raw in self.doc.items:
             self_keys[_item_key(self_index, raw)] = raw
+            okey = _odr_key(self_index, raw)
+            if okey is not None:
+                self_odr.setdefault(okey, raw)
         remap: dict[str, str] = {}
         counters: dict[str, int] = {}
         for raw in self.doc.items:
@@ -192,6 +206,22 @@ class PDB:
                 if raw.prefix in ("cl", "ro") and raw.get("ctempl" if raw.prefix == "cl" else "rtempl"):
                     stats.duplicate_instantiations += 1
                 continue
+            okey = _odr_key(other_index, raw)
+            if okey is not None:
+                prior = self_odr.get(okey)
+                if prior is not None:
+                    stats.odr_conflicts += 1
+                    if odr_log is not None:
+                        odr_log.append(
+                            {
+                                "kind": "routine" if raw.prefix == "ro" else "class",
+                                "name": okey[1],
+                                "existing": _loc_str(self_index, prior),
+                                "incoming": _loc_str(other_index, raw),
+                            }
+                        )
+                else:
+                    self_odr[okey] = raw
             counters[raw.prefix] = counters.get(raw.prefix, 0) + 1
             clone = RawItem(prefix=raw.prefix, id=counters[raw.prefix], name=raw.name)
             for a in raw.attributes:
@@ -254,6 +284,45 @@ def _item_key(index: dict, raw: RawItem) -> tuple:
             loc_key,
         )
     return (raw.prefix, raw.name, loc_key)
+
+
+def _odr_key(index: dict, raw: RawItem) -> Optional[tuple]:
+    """ODR identity: the *entity* a definition item defines, sans
+    location.  Two items sharing an ODR key but not an item key are two
+    different definitions of one entity — an ODR violation.
+
+    Only definitions participate: routines with a known body position
+    (declaration-only items are not definitions) and located classes.
+    Internal-linkage (static) routines are exempt — one per TU is legal.
+    """
+    if raw.prefix == "ro":
+        if raw.first_word("rstatic") == "yes" or raw.first_word("rstore") == "static":
+            return None
+        positions = raw.get_positions("rpos")
+        if positions is None or len(positions) < 3 or positions[2].file is None:
+            return None  # no body: a declaration, not a definition
+        sig = raw.get_ref("rsig")
+        sig_name = ""
+        if sig is not None:
+            sig_item = index.get(sig)
+            sig_name = sig_item.name if sig_item is not None else ""
+        return ("ro", raw.name, _parent_name(index, raw, "rclass", "rnspace"), sig_name)
+    if raw.prefix == "cl":
+        loc = raw.get_location("cloc")
+        if loc is None or loc.file is None:
+            return None
+        return ("cl", raw.name, _parent_name(index, raw, "cclass", "cnspace"))
+    return None
+
+
+def _loc_str(index: dict, raw: RawItem) -> str:
+    """``file:line`` of an item's defining location, for ODR logs."""
+    for key in ("rloc", "cloc"):
+        loc = raw.get_location(key)
+        if loc is not None and loc.file is not None:
+            f = index.get(loc.file)
+            return f"{f.name if f is not None else '?'}:{loc.line}"
+    return "?"
 
 
 def _loc_key(index: dict, raw: RawItem) -> tuple:

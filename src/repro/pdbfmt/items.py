@@ -19,17 +19,36 @@ class ItemRef:
     prefix: str
     id: int
 
+    def __post_init__(self):
+        # refs are dict keys everywhere (indices, caller maps, SCC
+        # tables); precomputing the hash beats the generated
+        # hash((prefix, id)) tuple build on every lookup
+        object.__setattr__(self, "_hash", hash((self.prefix, self.id)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
+
     def __str__(self) -> str:
         return f"{self.prefix}#{self.id}"
 
     @staticmethod
     def parse(text: str) -> Optional["ItemRef"]:
+        ref = _REF_CACHE.get(text)
+        if ref is not None:
+            return ref
         if text == "NULL":
             return None
         if "#" not in text:
             raise ValueError(f"not an item reference: {text!r}")
         prefix, _, num = text.partition("#")
-        return ItemRef(prefix, int(num))
+        ref = ItemRef(prefix, int(num))
+        _REF_CACHE[text] = ref
+        return ref
+
+
+#: memo for :meth:`ItemRef.parse` — ref spellings repeat constantly
+#: (every ``rcall``/``sinc``/``cbase`` word), and ItemRef is immutable
+_REF_CACHE: dict = {}
 
 
 @dataclass(frozen=True)
@@ -81,7 +100,11 @@ class RawItem:
 
     @property
     def ref(self) -> ItemRef:
-        return ItemRef(self.prefix, self.id)
+        # cached: ids never mutate (merge clones instead of renumbering)
+        r = self.__dict__.get("_ref")
+        if r is None:
+            r = self.__dict__["_ref"] = ItemRef(self.prefix, self.id)
+        return r
 
     def add(self, key: str, *words: object) -> "RawItem":
         self.attributes.append(Attribute(key, [str(w) for w in words]))
@@ -91,14 +114,25 @@ class RawItem:
         self.attributes.append(Attribute(key, text=text))
         return self
 
-    def get(self, key: str) -> Optional[Attribute]:
+    def _attr_index(self) -> dict:
+        """Lazy key -> [attributes] index, rebuilt when the attribute
+        list grows (``add``/reader appends; nothing ever removes or
+        re-keys an attribute in place)."""
+        cached = self.__dict__.get("_attr_idx")
+        if cached is not None and cached[1] == len(self.attributes):
+            return cached[0]
+        idx: dict = {}
         for a in self.attributes:
-            if a.key == key:
-                return a
-        return None
+            idx.setdefault(a.key, []).append(a)
+        self.__dict__["_attr_idx"] = (idx, len(self.attributes))
+        return idx
+
+    def get(self, key: str) -> Optional[Attribute]:
+        found = self._attr_index().get(key)
+        return found[0] if found else None
 
     def get_all(self, key: str) -> list[Attribute]:
-        return [a for a in self.attributes if a.key == key]
+        return list(self._attr_index().get(key, ()))
 
     def first_word(self, key: str) -> Optional[str]:
         a = self.get(key)

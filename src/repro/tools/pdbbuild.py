@@ -23,7 +23,14 @@ events; ``--self-profile DIR`` replays the same spans through the
 repro's own TAU measurement runtime and writes ``profile.n.c.t`` files
 (one node per build process) readable by ``repro.tau.profiledata`` —
 the toolchain profiled by the paper's own profiler.  Either flag also
-populates the per-phase wall-time aggregates of stats schema ``/3``.
+populates the per-phase wall-time aggregates of stats schema ``/4``.
+
+``--check[=RULES]`` runs the :mod:`repro.check` static-analysis suite
+on the merged result (CI-style lint-on-build): findings print like
+compiler diagnostics, per-check wall time lands in the stats report's
+``check`` section and — on observability builds — as ``check.*`` spans
+in ``--trace-json``, and findings at warning level or above make the
+build exit non-zero.
 
 ``cxxparse`` routes through :func:`build` with one worker and no cache,
 so single-TU behaviour is unchanged.
@@ -77,7 +84,7 @@ from repro.pdbfmt.writer import write_pdb
 CACHE_FORMAT = "pdbbuild-cache/2"
 
 #: schema tag emitted in --stats-json reports
-STATS_SCHEMA = "pdbbuild-stats/3"
+STATS_SCHEMA = "pdbbuild-stats/4"
 
 
 @dataclass(frozen=True)
@@ -194,12 +201,17 @@ class BuildStats:
     warnings: int = 0
     errors: int = 0
     phases: dict[str, dict] = field(default_factory=dict)
+    #: static-analysis section (``--check`` builds only): selection,
+    #: per-rule finding counts, per-check wall time
+    check: Optional[dict] = None
+    #: the full CheckReport behind ``check`` (never serialised)
+    check_report: Optional[object] = None
     trace_spans: list = field(default_factory=list)
     trace_counters: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        """The --stats-json document (schema: ``pdbbuild-stats/3``)."""
-        return {
+        """The --stats-json document (schema: ``pdbbuild-stats/4``)."""
+        d = {
             "schema": STATS_SCHEMA,
             "jobs": self.jobs,
             "sources": [t.source for t in self.tus],
@@ -218,6 +230,9 @@ class BuildStats:
             "phases": self.phases,
             "total_wall_s": self.total_wall_s,
         }
+        if self.check is not None:
+            d["check"] = self.check
+        return d
 
 
 @dataclass
@@ -398,6 +413,7 @@ def build(
     keep_going: bool = False,
     timeout: Optional[float] = None,
     trace: bool = False,
+    checks: Optional[str] = None,
 ) -> tuple[PDB, BuildStats]:
     """Compile ``sources`` and merge them into one PDB.
 
@@ -420,19 +436,25 @@ def build(
     worker pids, merge) records spans into ``stats.trace_spans``, cache
     activity records counter samples into ``stats.trace_counters``, and
     ``stats.phases`` aggregates per-phase wall time — the material for
-    ``--trace-json`` / ``--self-profile`` / stats schema ``/3``.
+    ``--trace-json`` / ``--self-profile`` / stats schema ``/4``.
+
+    ``checks`` runs the :mod:`repro.check` static-analysis suite over
+    the merged result ("all" or a selection as in
+    :func:`repro.check.resolve_selection`); findings land in
+    ``stats.check_report``, the summary (per-rule counts, per-check wall
+    time) in ``stats.check`` / the stats document's ``check`` section.
     """
     observer = obs.enable() if trace else None
     try:
         if observer is None:
             return _build(
                 sources, options, jobs, cache_dir, files, keep_going, timeout,
-                trace, observer,
+                trace, observer, checks,
             )
         with observer.phase("pdbbuild.build", cat="pdbbuild", jobs=jobs):
             merged, stats = _build(
                 sources, options, jobs, cache_dir, files, keep_going, timeout,
-                trace, observer,
+                trace, observer, checks,
             )
     finally:
         if observer is not None:
@@ -453,6 +475,7 @@ def _build(
     timeout: Optional[float],
     trace: bool,
     observer,
+    checks: Optional[str] = None,
 ) -> tuple[PDB, BuildStats]:
     """The build pipeline behind :func:`build` (observer installed)."""
     t0 = time.perf_counter()
@@ -617,7 +640,27 @@ def _build(
         stats.merge.items_added += ms.items_added
         stats.merge.duplicates_eliminated += ms.duplicates_eliminated
         stats.merge.duplicate_instantiations += ms.duplicate_instantiations
+        stats.merge.odr_conflicts += ms.odr_conflicts
     stats.output_items = len(merged.doc.items)
+
+    if checks is not None:
+        from repro.check import run_checks
+
+        tc = time.perf_counter()
+        report = run_checks(merged, select=checks)
+        stats.check_report = report
+        stats.check = {
+            "selection": checks,
+            "findings": len(report.findings),
+            "errors": report.count("error"),
+            "warnings": report.count("warning"),
+            "rules": report.rule_counts,
+            "checks": {
+                name: {"wall_s": report.timings[name]} for name in report.checks_run
+            },
+            "wall_s": time.perf_counter() - tc,
+        }
+
     stats.total_wall_s = time.perf_counter() - t0
     return merged, stats
 
@@ -736,6 +779,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="per-TU wall-clock bound; a hung worker fails its TU "
         "(needs -j > 1 to be enforceable)",
     )
+    ap.add_argument(
+        "--check",
+        nargs="?",
+        const="all",
+        default=None,
+        metavar="RULES",
+        help="run the static-analysis suite on the merged result "
+        "(optionally a comma list of check names / rule ids; default all); "
+        "findings at warning level or above exit non-zero",
+    )
     add_mode_arguments(ap)
     add_recovery_arguments(ap)
     ap.add_argument(
@@ -752,6 +805,13 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     cache_dir = None if args.no_cache else args.cache_dir
     trace = bool(args.trace_json or args.self_profile)
+    if args.check is not None:
+        from repro.check import resolve_selection
+
+        try:
+            resolve_selection(args.check)
+        except ValueError as e:
+            ap.error(str(e))
     try:
         merged, stats = build(
             args.source,
@@ -761,6 +821,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             keep_going=args.keep_going,
             timeout=args.timeout,
             trace=trace,
+            checks=args.check,
         )
     except TUCompileError as exc:
         for line in exc.diagnostics:
@@ -792,6 +853,12 @@ def main(argv: Optional[list[str]] = None) -> int:
             f"({stats.merge.duplicate_instantiations} template instantiations), "
             f"{stats.merge_wall_s:.3f}s"
         )
+    check_failed = False
+    if stats.check_report is not None:
+        from repro.check import render_text
+
+        print(render_text(stats.check_report, verbose=args.verbose))
+        check_failed = stats.check_report.fails("warning")
     print(f"{out}: {stats.output_items} items")
     if stats.warnings:
         print(f"{stats.warnings} warning(s)")
@@ -811,7 +878,7 @@ def main(argv: Optional[list[str]] = None) -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+    return 1 if check_failed else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -22,19 +22,23 @@ def _clone(pdb: PDB) -> PDB:
     return PDB(doc)
 
 
-def merge_pdbs(pdbs: list[PDB]) -> tuple[PDB, list[MergeStats]]:
+def merge_pdbs(
+    pdbs: list[PDB], odr_log: Optional[list] = None
+) -> tuple[PDB, list[MergeStats]]:
     """Fold a list of PDBs left-to-right into one *fresh* merged PDB.
 
     The inputs are never modified — the first PDB is deep-copied before
     the others are folded in — so callers can keep reusing them (the
     pdbbuild cache hands out the same parsed per-TU PDBs repeatedly).
+    Pass ``odr_log`` (a list) to collect One-Definition-Rule conflict
+    details across all the folds (``--check``).
     """
     if not pdbs:
         return PDB(), []
     base = _clone(pdbs[0])
     stats: list[MergeStats] = []
     for other in pdbs[1:]:
-        stats.append(base.merge(other))
+        stats.append(base.merge(other, odr_log=odr_log))
     return base, stats
 
 
@@ -46,10 +50,16 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     ap.add_argument("inputs", nargs="+", help="PDB files to merge")
     ap.add_argument("-o", "--output", required=True, help="merged output PDB")
+    ap.add_argument(
+        "--check",
+        action="store_true",
+        help="report cross-TU One-Definition-Rule conflicts found while merging",
+    )
     ap.add_argument("-v", "--verbose", action="store_true")
     args = ap.parse_args(argv)
     pdbs = [PDB.read(p) for p in args.inputs]
-    merged, stats = merge_pdbs(pdbs)
+    odr_log: Optional[list] = [] if args.check else None
+    merged, stats = merge_pdbs(pdbs, odr_log=odr_log)
     merged.write(args.output)
     if args.verbose:
         for path, st in zip(args.inputs[1:], stats):
@@ -57,6 +67,14 @@ def main(argv: Optional[list[str]] = None) -> int:
                 f"{path}: {st.items_in} items in, {st.items_added} added, "
                 f"{st.duplicates_eliminated} duplicates eliminated "
                 f"({st.duplicate_instantiations} template instantiations)"
+            )
+    if args.check:
+        total = sum(st.odr_conflicts for st in stats)
+        print(f"ODR conflicts: {total}")
+        for c in odr_log or []:
+            print(
+                f"  {c['kind']} '{c['name']}': defined at {c['existing']} "
+                f"and {c['incoming']}"
             )
     print(f"{args.output}: {len(merged.items())} items")
     return 0

@@ -318,3 +318,184 @@ class TestMerge:
         pa, pb = self.make_pair()
         pa.merge(pb)
         assert check_pdb(pa) == []
+
+
+def _chain_call_pdb(n: int) -> str:
+    """A call chain f0 -> f1 -> ... -> f{n-1}, as hand-written PDB text."""
+    parts = ["<PDB 3.0>", "", "so#1 t.cpp", ""]
+    for i in range(n):
+        parts.append(f"ro#{i + 1} f{i}")
+        parts.append(f"rloc so#1 {i + 1} 1")
+        if i + 1 < n:
+            parts.append(f"rcall ro#{i + 2} no so#1 {i + 1} 1")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def _chain_include_pdb(n: int) -> str:
+    """An include chain h0 -> h1 -> ... -> h{n-1}."""
+    parts = ["<PDB 3.0>", ""]
+    for i in range(n):
+        parts.append(f"so#{i + 1} h{i}.h")
+        if i + 1 < n:
+            parts.append(f"sinc so#{i + 2}")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def _diamond_ladder_pdb(levels: int) -> str:
+    """A stack of inheritance diamonds: B0 <- {M1_i, M2_i} <- B_i.
+
+    ``depth_of(B_levels)`` is 2*levels; without memoization the diamond
+    sharing makes naive recursion visit 2^levels paths.
+    """
+    parts = ["<PDB 3.0>", "", "so#1 t.h", "", "cl#1 B0", "cloc so#1 1 1", ""]
+    prev = 1
+    nid = 1
+    for lv in range(1, levels + 1):
+        m1, m2, bot = nid + 1, nid + 2, nid + 3
+        nid = bot
+        for cid, name in ((m1, f"M1_{lv}"), (m2, f"M2_{lv}")):
+            parts += [f"cl#{cid} {name}", f"cloc so#1 {cid} 1",
+                      f"cbase pub no cl#{prev} so#1 {cid} 1", ""]
+        parts += [f"cl#{bot} B{lv}", f"cloc so#1 {bot} 1",
+                  f"cbase pub no cl#{m1} so#1 {bot} 1",
+                  f"cbase pub no cl#{m2} so#1 {bot} 1", ""]
+        prev = bot
+    return "\n".join(parts)
+
+
+class TestDerivedQueries:
+    """PDB.callers_of / PDB.derived_of (paper's derived-structure queries)."""
+
+    SRC = (
+        "class A { public: virtual int v( ) { return 0; } };\n"
+        "class B : public A { };\n"
+        "class C : public B { };\n"
+        "int leaf( ) { return 1; }\n"
+        "int mid( ) { return leaf( ); }\n"
+        "int main( ) { return mid( ) + leaf( ); }\n"
+    )
+
+    def test_callers_of(self):
+        pdb = pdb_for(self.SRC)
+        byname = {r.name(): r for r in pdb.getRoutineVec()}
+        assert {r.name() for r in pdb.callers_of(byname["leaf"])} == {"mid", "main"}
+        assert {r.name() for r in pdb.callers_of(byname["mid"])} == {"main"}
+        assert pdb.callers_of(byname["main"]) == []
+
+    def test_derived_of_is_direct_only(self):
+        pdb = pdb_for(self.SRC)
+        byname = {c.name(): c for c in pdb.getClassVec()}
+        assert [c.name() for c in pdb.derived_of(byname["A"])] == ["B"]
+        assert [c.name() for c in pdb.derived_of(byname["B"])] == ["C"]
+        assert pdb.derived_of(byname["C"]) == []
+
+    def test_callers_of_mutual_recursion(self):
+        pdb = PDB.from_text(_chain_call_pdb(1).replace(
+            "rloc so#1 1 1", "rloc so#1 1 1\nrcall ro#1 no so#1 1 1"))
+        (f0,) = pdb.getRoutineVec()
+        assert pdb.callers_of(f0) == [f0]
+
+
+class TestPureCycleCallGraph:
+    """A mutually-recursive cluster nothing calls: every routine is
+    'called', so the call tree has no roots at all."""
+
+    CYCLE = (
+        "<PDB 3.0>\n\n"
+        "so#1 t.cpp\n\n"
+        "ro#1 ping\nrloc so#1 1 1\nrcall ro#2 no so#1 1 1\n\n"
+        "ro#2 pong\nrloc so#1 2 1\nrcall ro#1 no so#1 2 1\n"
+    )
+
+    def test_no_roots(self):
+        pdb = PDB.from_text(self.CYCLE)
+        tree = pdb.getCallTree()
+        assert tree.roots == []
+        assert [row for r in tree.roots for row in tree.walk(r)] == []
+
+    def test_callers_of_sees_cycle_edges(self):
+        pdb = PDB.from_text(self.CYCLE)
+        byname = {r.name(): r for r in pdb.getRoutineVec()}
+        assert [r.name() for r in pdb.callers_of(byname["ping"])] == ["pong"]
+
+
+class TestIterativeWalks:
+    """CallTree.walk / InclusionTree.walk must survive chains far deeper
+    than the Python recursion limit (they are explicit-stack walks)."""
+
+    def test_deep_call_chain(self):
+        import sys
+
+        n = sys.getrecursionlimit() + 500
+        pdb = PDB.from_text(_chain_call_pdb(n))
+        tree = pdb.getCallTree()
+        (root,) = tree.roots
+        rows = list(tree.walk(root))
+        assert len(rows) == n
+        last, depth, cyclic, _virt = rows[-1]
+        assert last.name() == f"f{n - 1}"
+        assert depth == n - 2  # root is yielded at depth -1
+        assert not cyclic
+
+    def test_deep_include_chain(self):
+        import sys
+
+        n = sys.getrecursionlimit() + 500
+        pdb = PDB.from_text(_chain_include_pdb(n))
+        tree = pdb.getInclusionTree()
+        (root,) = tree.roots
+        rows = list(tree.walk(root))
+        assert len(rows) == n
+        assert rows[-1][0].name() == f"h{n - 1}.h"
+        assert rows[-1][1] == n - 1
+
+    def test_call_walk_flags_reset_when_abandoned(self):
+        """Abandoning the generator mid-walk must not leave ACTIVE flags
+        behind (the try/finally sweep)."""
+        pdb = PDB.from_text(_chain_call_pdb(10))
+        tree = pdb.getCallTree()
+        (root,) = tree.roots
+        g = tree.walk(root)
+        next(g)
+        next(g)
+        g.close()
+        assert len(list(tree.walk(root))) == 10
+
+
+class TestDepthOf:
+    def test_linear_chain(self):
+        pdb = pdb_for(
+            "class A { };\nclass B : public A { };\nclass C : public B { };\n"
+        )
+        h = pdb.getClassHierarchy()
+        byname = {c.name(): c for c in pdb.getClassVec()}
+        assert h.depth_of(byname["A"]) == 0
+        assert h.depth_of(byname["C"]) == 2
+
+    def test_diamond_ladder_is_polynomial(self):
+        """30 stacked diamonds = 2^30 root-to-leaf paths; the memoized
+        walk must answer instantly (and exactly)."""
+        levels = 30
+        pdb = PDB.from_text(_diamond_ladder_pdb(levels))
+        h = pdb.getClassHierarchy()
+        byname = {c.name(): c for c in pdb.getClassVec()}
+        assert h.depth_of(byname[f"B{levels}"]) == 2 * levels
+        # the memo now holds every class on the ladder
+        assert len(h._depths) == 1 + 3 * levels
+
+    def test_cycle_raises_value_error(self):
+        import pytest
+
+        text = (
+            "<PDB 3.0>\n\n"
+            "so#1 t.h\n\n"
+            "cl#1 A\ncloc so#1 1 1\ncbase pub no cl#2 so#1 1 1\n\n"
+            "cl#2 B\ncloc so#1 2 1\ncbase pub no cl#1 so#1 2 1\n"
+        )
+        pdb = PDB.from_text(text)
+        h = pdb.getClassHierarchy()
+        byname = {c.name(): c for c in pdb.getClassVec()}
+        with pytest.raises(ValueError, match="class hierarchy cycle"):
+            h.depth_of(byname["A"])
