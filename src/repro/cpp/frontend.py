@@ -18,6 +18,7 @@ from typing import Optional
 
 from repro import obs
 from repro.cpp.diagnostics import CppError, DiagnosticSink, TooManyErrors
+from repro.cpp.headercache import HeaderCache
 from repro.cpp.il import ILTree
 from repro.cpp.instantiate import InstantiationEngine, InstantiationMode
 from repro.cpp.preprocessor import Preprocessor
@@ -44,6 +45,10 @@ class FrontendOptions:
     predefined_macros: dict[str, str] = field(default_factory=dict)
     fatal_errors: bool = True
     max_errors: int = 50
+    #: memoize preprocessed ``#include`` subtrees across the TUs this
+    #: Frontend compiles (output is byte-identical either way; see
+    #: :mod:`repro.cpp.headercache`)
+    header_cache: bool = True
 
 
 class Frontend:
@@ -68,6 +73,16 @@ class Frontend:
         #: files the preprocessor consumed for the last ``compile`` call,
         #: in first-use order — the hash set for pdbbuild's incremental cache
         self.last_consumed_files: list = []
+        #: per-TU results of the last ``compile_many`` call, parallel to
+        #: its input list (``compile`` overwrites the ``last_*`` scalars
+        #: per TU, so multi-TU callers read these instead)
+        self.last_sinks: list = []
+        self.last_engines: list = []
+        self.last_consumed_files_per_tu: list = []
+        #: shared across every TU this Frontend compiles
+        self.header_cache: Optional[HeaderCache] = (
+            HeaderCache() if self.options.header_cache else None
+        )
 
     def register_files(self, files: dict[str, str]) -> None:
         """Register in-memory sources (corpora, generated code)."""
@@ -90,13 +105,21 @@ class Frontend:
             max_errors=self.options.max_errors,
         )
         self.last_sink = sink
+        self.last_engine = None
         self.last_error_overflow = False
-        src = self.manager.load(main_file)
+        hc = self.header_cache
+        hc_base = (hc.hits, hc.misses, hc.uncacheable) if hc is not None else None
         predefined = {"__cplusplus": "199711", **self.options.predefined_macros}
-        pp = Preprocessor(self.manager, sink, predefined)
+        # created before anything can raise, so the finally block below
+        # always has a preprocessor (and a source slot) to read from —
+        # a missing main file propagates FileNotFoundError cleanly
+        # instead of tripping over unbound locals
+        pp = Preprocessor(self.manager, sink, predefined, header_cache=hc)
         tree = ILTree()
-        tree.main_file = src
+        src = None
         try:
+            src = self.manager.load(main_file)
+            tree.main_file = src
             # phase-scoped self-observability (no-ops unless repro.obs
             # has an observer installed); binding is interleaved with
             # parsing, so its time reports under frontend.parse
@@ -127,10 +150,34 @@ class Frontend:
                 pass
         finally:
             self.last_consumed_files = list(pp.consumed_files)
-            tree.files = self.manager.inclusion_closure([src])
+            tree.files = (
+                self.manager.inclusion_closure([src]) if src is not None else []
+            )
             tree.macros = list(pp.macro_records)
+            if hc is not None:
+                obs.counter(
+                    "frontend.header_cache",
+                    hits=hc.hits - hc_base[0],
+                    misses=hc.misses - hc_base[1],
+                    uncacheable=hc.uncacheable - hc_base[2],
+                )
         return tree
 
     def compile_many(self, main_files: list[str]) -> list[ILTree]:
-        """Compile several TUs independently (pdbmerge's input shape)."""
-        return [self.compile(f) for f in main_files]
+        """Compile several TUs independently (pdbmerge's input shape).
+
+        ``compile`` overwrites the ``last_sink``/``last_engine``/
+        ``last_consumed_files`` scalars on every call, so this also
+        accumulates the per-TU values in ``last_sinks``/``last_engines``/
+        ``last_consumed_files_per_tu`` (parallel to ``main_files``) —
+        diagnostics from every TU stay reachable, not just the last one's."""
+        self.last_sinks = []
+        self.last_engines = []
+        self.last_consumed_files_per_tu = []
+        trees = []
+        for f in main_files:
+            trees.append(self.compile(f))
+            self.last_sinks.append(self.last_sink)
+            self.last_engines.append(self.last_engine)
+            self.last_consumed_files_per_tu.append(self.last_consumed_files)
+        return trees

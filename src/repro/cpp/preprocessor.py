@@ -27,6 +27,7 @@ from typing import Optional
 
 from repro import obs
 from repro.cpp.diagnostics import CppError, DiagnosticSink, TooManyErrors
+from repro.cpp.headercache import CACHE_DEPTH_LIMIT, HeaderCache
 from repro.cpp.lexer import tokenize
 from repro.cpp.source import SourceFile, SourceLocation, SourceManager
 from repro.cpp.tokens import Token, TokenKind, tokens_to_text
@@ -83,10 +84,17 @@ class Preprocessor:
         manager: SourceManager,
         sink: Optional[DiagnosticSink] = None,
         predefined: Optional[dict[str, str]] = None,
+        header_cache: Optional[HeaderCache] = None,
     ):
         self.manager = manager
         self.sink = sink or DiagnosticSink()
-        self.macros: dict[str, Macro] = {}
+        #: cross-TU header memo, shared by every preprocessor a Frontend
+        #: creates; when set, the macro table tracks reads so cached
+        #: subtrees key on the macro state they actually consulted
+        self.header_cache = header_cache
+        self.macros: dict[str, Macro] = (
+            {} if header_cache is None else header_cache.wrap_macro_table()
+        )
         self.macro_records: list[MacroRecord] = []
         #: every file whose tokens this preprocessor consumed, in first-use
         #: order — the dependency set a build cache must hash (pdbbuild)
@@ -132,6 +140,11 @@ class Preprocessor:
             raise CppError(f"include depth limit exceeded at {file.name}", loc)
         if file not in self.consumed_files:
             self.consumed_files.append(file)
+        hc = self.header_cache
+        if hc is not None and hc._recs:
+            depth = len(self._include_stack) + 1
+            for rec in hc._recs:
+                rec.note_file(file, depth)
         self._include_stack.append(file)
         try:
             with obs.observe("frontend.lex", cat="frontend", file=file.name):
@@ -308,10 +321,24 @@ class Preprocessor:
             self.sink.error(f"include file not found: {spec}", loc)
             return
         file.add_include(target)
+        hc = self.header_cache
+        if hc is not None and hc._recs:
+            # an enclosing subtree is being recorded: its replay must
+            # re-add this edge, re-resolve this spec (a re-registered or
+            # shadowing file changes the subtree), and stays valid only
+            # while ``target`` is not in the include stack (the branch
+            # below consults it either way)
+            for rec in hc._recs:
+                rec.edges.append((file, target))
+                rec.stack_checked.add(target)
+                rec.include_checks.append((spec, angled, file, target, target.text))
         if target in self._include_stack:
             # Re-inclusion of an in-progress file: record edge, skip body.
             return
-        out.extend(self._process_file(target, loc))
+        if hc is None or len(self._include_stack) > CACHE_DEPTH_LIMIT:
+            out.extend(self._process_file(target, loc))
+        else:
+            out.extend(hc.include(self, target, loc))
 
     def _do_define(self, rest: list[Token], loc: SourceLocation) -> None:
         if not rest or rest[0].kind is not TokenKind.IDENT:

@@ -85,9 +85,16 @@ class SourceManager:
     # -- registration ------------------------------------------------
 
     def register(self, name: str, text: str, system: bool = False) -> SourceFile:
-        """Register an in-memory file; re-registering a name replaces it."""
-        f = SourceFile(name=name, text=text, system=system)
+        """Register an in-memory file; re-registering a name replaces it.
+
+        Re-registering *unchanged* content keeps the existing object —
+        include edges and header-cache entries are keyed on SourceFile
+        identity, so multi-TU drivers may re-register their corpus per
+        TU without invalidating either."""
         old = self._by_name.get(name)
+        if old is not None and old.text == text and old.system == system:
+            return old
+        f = SourceFile(name=name, text=text, system=system)
         if old is not None:
             self._files[self._files.index(old)] = f
         else:

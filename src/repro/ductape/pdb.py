@@ -9,7 +9,6 @@ macros, and namespaces."
 
 from __future__ import annotations
 
-import re
 from dataclasses import dataclass
 from typing import Optional
 
@@ -25,11 +24,10 @@ from repro.ductape.items import (
     PdbTemplate,
     PdbType,
 )
-from repro.pdbfmt.items import Attribute, ItemRef, PdbDocument, RawItem
+from repro.pdbfmt.items import ItemRef, PdbDocument, RawItem
 from repro.pdbfmt.reader import parse_pdb
 from repro.pdbfmt.writer import write_pdb
 
-_REF_WORD = re.compile(r"^(ferr|so|ro|cl|ty|te|na|ma)#(\d+)$")
 
 
 @dataclass
@@ -50,7 +48,11 @@ class PDB:
 
     def __init__(self, doc: Optional[PdbDocument] = None):
         self.doc = doc or PdbDocument()
-        self._index: dict[ItemRef, PdbSimpleItem] = {}
+        #: wrappers materialised on first access, keyed by ItemRef —
+        #: loading a database costs only the raw id index; tools that
+        #: touch one routine never pay for the other thousand wrappers
+        self._wrappers: dict[ItemRef, PdbSimpleItem] = {}
+        self._raw: dict[str, dict[int, RawItem]] = {}
         self._reindex()
 
     # -- construction -------------------------------------------------------
@@ -72,10 +74,24 @@ class PDB:
         return cls(analyze(tree))
 
     def _reindex(self) -> None:
-        self._index.clear()
+        """Rebuild the raw id index and drop materialised wrappers
+        (wrappers cache resolved cross-references, which merge can
+        invalidate).  Deliberately cheap: no ItemRef or wrapper is
+        created here — both happen lazily on first access."""
+        self._wrappers.clear()
+        raw_index: dict[str, dict[int, RawItem]] = {}
         for raw in self.doc.items:
-            wrapper_cls = ITEM_CLASSES.get(raw.prefix, PdbSimpleItem)
-            self._index[raw.ref] = wrapper_cls(self, raw)
+            sub = raw_index.get(raw.prefix)
+            if sub is None:
+                sub = raw_index[raw.prefix] = {}
+            sub[raw.id] = raw
+        self._raw = raw_index
+
+    def materialize(self) -> int:
+        """Force every wrapper into existence (the eager-load behaviour
+        lazy loading replaced) and return the item count.  Tools that
+        will touch the whole database anyway can call this up front."""
+        return len(self.items())
 
     # -- output ------------------------------------------------------------
 
@@ -89,13 +105,25 @@ class PDB:
     # -- lookup -------------------------------------------------------------
 
     def item(self, ref: ItemRef) -> Optional[PdbSimpleItem]:
-        return self._index.get(ref)
+        if ref is None:
+            return None
+        w = self._wrappers.get(ref)
+        if w is None:
+            sub = self._raw.get(ref.prefix)
+            raw = sub.get(ref.id) if sub is not None else None
+            if raw is None:
+                return None
+            w = ITEM_CLASSES.get(ref.prefix, PdbSimpleItem)(self, raw)
+            self._wrappers[ref] = w
+        return w
 
     def items(self) -> list[PdbSimpleItem]:
-        return [self._index[raw.ref] for raw in self.doc.items]
+        item = self.item
+        return [item(raw.ref) for raw in self.doc.items]
 
     def _vec(self, prefix: str) -> list:
-        return [self._index[raw.ref] for raw in self.doc.items if raw.prefix == prefix]
+        item = self.item
+        return [item(raw.ref) for raw in self.doc.items if raw.prefix == prefix]
 
     def getFileVec(self) -> list[PdbFile]:
         return self._vec("so")
@@ -225,23 +253,22 @@ class PDB:
             counters[raw.prefix] = counters.get(raw.prefix, 0) + 1
             clone = RawItem(prefix=raw.prefix, id=counters[raw.prefix], name=raw.name)
             for a in raw.attributes:
-                clone.attributes.append(Attribute(a.key, list(a.words), a.text))
+                clone.attributes.append(a.clone())
             remap[str(raw.ref)] = str(clone.ref)
             pending.append(clone)
             self_keys[key] = clone
             stats.items_added += 1
+        # remap keys are exactly the ``prefix#id`` spellings of incoming
+        # refs, so a plain dict probe replaces the old per-word
+        # ref-shaped regex test: any word that could hit a key *is* a
+        # ref spelling, and every other word misses and passes through
+        remap_get = remap.get
         for clone in pending:
             for a in clone.attributes:
-                a.words = [_remap_word(w, remap) for w in a.words]
+                a.words = [remap_get(w, w) for w in a.words]
             self.doc.items.append(clone)
         self._reindex()
         return stats
-
-
-def _remap_word(word: str, remap: dict[str, str]) -> str:
-    if _REF_WORD.match(word):
-        return remap.get(word, word)
-    return word
 
 
 def _item_key(index: dict, raw: RawItem) -> tuple:

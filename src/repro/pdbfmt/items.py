@@ -75,28 +75,125 @@ class PdbLocation:
         return PdbLocation(None, 0, 0)
 
 
-@dataclass
 class Attribute:
-    """One attribute line: key + raw value words (or verbatim text)."""
+    """One attribute line: key + raw value words (or verbatim text).
 
-    key: str
-    words: list[str] = field(default_factory=list)
-    text: Optional[str] = None  # for "text"-grammar attributes
+    The word list may be held unsplit (``_rest``) by the fast reader and
+    is materialised on first :attr:`words` access — most consumers touch
+    only a few keys per item, so parse time stops paying for the rest.
+    Rendering normalises to single-space joins either way, preserving
+    the write∘parse fixed point."""
+
+    __slots__ = ("key", "text", "_words", "_rest")
+
+    def __init__(
+        self, key: str, words: Optional[list[str]] = None, text: Optional[str] = None
+    ):
+        self.key = key
+        self.text = text  # for "text"-grammar attributes
+        self._words = [] if words is None else words
+        self._rest = None
+
+    @property
+    def words(self) -> list[str]:
+        w = self._words
+        if w is None:
+            w = self._words = self._rest.split()
+        return w
+
+    @words.setter
+    def words(self, value: list[str]) -> None:
+        self._words = value
+
+    def __eq__(self, other: object):
+        if other.__class__ is not Attribute:
+            return NotImplemented
+        return (
+            self.key == other.key
+            and self.text == other.text
+            and self.words == other.words
+        )
+
+    def __repr__(self) -> str:
+        return f"Attribute(key={self.key!r}, words={self.words!r}, text={self.text!r})"
+
+    def clone(self) -> "Attribute":
+        """Independent copy sharing the (interned) key and, when the
+        words are still unsplit, the raw value text."""
+        a = Attribute.__new__(Attribute)
+        a.key = self.key
+        a.text = self.text
+        w = self._words
+        a._words = list(w) if w is not None else None
+        a._rest = self._rest
+        return a
 
     def render(self) -> str:
         if self.text is not None:
             return f"{self.key} {self.text}".rstrip()
-        return " ".join([self.key] + self.words)
+        words = self.words
+        if words:
+            return self.key + " " + " ".join(words)
+        return self.key
 
 
-@dataclass
 class RawItem:
-    """One PDB item: ``<prefix>#<id> <name>`` plus attribute lines."""
+    """One PDB item: ``<prefix>#<id> <name>`` plus attribute lines.
 
-    prefix: str
-    id: int
-    name: str
-    attributes: list[Attribute] = field(default_factory=list)
+    The fast reader hands an item its attribute lines *unparsed*
+    (``_raw``); :attr:`attributes` materialises them into
+    :class:`Attribute` objects on first access.  Most pipelines touch a
+    fraction of a database's items, so parse time stops paying for the
+    rest — the same laziness :attr:`Attribute.words` applies one level
+    down.  Everything built through ``__init__``/``add`` is eager as
+    before."""
+
+    def __init__(
+        self,
+        prefix: str,
+        id: int,
+        name: str,
+        attributes: Optional[list[Attribute]] = None,
+    ):
+        self.prefix = prefix
+        self.id = id
+        self.name = name
+        self._attrs: Optional[list[Attribute]] = (
+            [] if attributes is None else attributes
+        )
+        self._raw: Optional[list[str]] = None
+
+    @property
+    def attributes(self) -> list[Attribute]:
+        attrs = self._attrs
+        if attrs is None:
+            # deferred import: the reader already imports this module
+            from repro.pdbfmt.reader import materialize_attrs
+
+            attrs = self._attrs = materialize_attrs(self.prefix, self._raw)
+            self._raw = None
+        return attrs
+
+    @attributes.setter
+    def attributes(self, value: list[Attribute]) -> None:
+        self._attrs = value
+        self._raw = None
+
+    def __eq__(self, other: object):
+        if other.__class__ is not RawItem:
+            return NotImplemented
+        return (
+            self.prefix == other.prefix
+            and self.id == other.id
+            and self.name == other.name
+            and self.attributes == other.attributes
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RawItem(prefix={self.prefix!r}, id={self.id!r}, "
+            f"name={self.name!r}, attributes={self.attributes!r})"
+        )
 
     @property
     def ref(self) -> ItemRef:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro import obs
 from repro.pdbfmt.items import PdbDocument
+from repro.pdbfmt.reader import intern_key
 
 
 def write_pdb(doc: PdbDocument) -> str:
@@ -11,13 +12,19 @@ def write_pdb(doc: PdbDocument) -> str:
 
     Item records are separated by blank lines; attribute order within an
     item is preserved, so the writer is a deterministic function of the
-    document and reparse→rewrite is the identity."""
+    document and reparse→rewrite is the identity.
+
+    As a side effect every attribute key is canonicalised into the
+    reader's interned key table — documents built in memory (analyzer
+    output, merge results) end up sharing one string object per distinct
+    key with everything the reader parses."""
     with obs.observe("pdb.write", cat="pdbfmt", items=len(doc.items)):
         lines: list[str] = [f"<PDB {doc.version}>", ""]
         for item in doc.items:
             name = item.name if item.name else "<anon>"
             lines.append(f"{item.prefix}#{item.id} {name}")
             for attr in item.attributes:
+                attr.key = intern_key(attr.key)
                 lines.append(attr.render())
             lines.append("")
         return "\n".join(lines)

@@ -65,6 +65,7 @@ import json
 import os
 import sys
 import time
+import uuid
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
@@ -84,7 +85,7 @@ from repro.pdbfmt.writer import write_pdb
 CACHE_FORMAT = "pdbbuild-cache/2"
 
 #: schema tag emitted in --stats-json reports
-STATS_SCHEMA = "pdbbuild-stats/4"
+STATS_SCHEMA = "pdbbuild-stats/5"
 
 
 @dataclass(frozen=True)
@@ -196,6 +197,13 @@ class BuildStats:
     failures: list[TUFailure] = field(default_factory=list)
     merge: MergeStats = field(default_factory=MergeStats)
     merge_wall_s: float = 0.0
+    #: reduction rounds of the pairwise tree merge (0 = fold shape)
+    merge_tree_depth: int = 0
+    #: frontend header-cache activity summed over every compiled TU
+    #: (cache-hit TUs never run the frontend, so they contribute zero)
+    hc_hits: int = 0
+    hc_misses: int = 0
+    hc_uncacheable: int = 0
     total_wall_s: float = 0.0
     output_items: int = 0
     warnings: int = 0
@@ -210,7 +218,10 @@ class BuildStats:
     trace_counters: list = field(default_factory=list)
 
     def to_dict(self) -> dict:
-        """The --stats-json document (schema: ``pdbbuild-stats/4``)."""
+        """The --stats-json document (schema: ``pdbbuild-stats/5``).
+
+        ``/5`` keeps every ``/4`` field and adds the ``header_cache``
+        section plus ``merge.tree_depth`` (see docs/FORMAT.md)."""
         d = {
             "schema": STATS_SCHEMA,
             "jobs": self.jobs,
@@ -221,9 +232,18 @@ class BuildStats:
                 "misses": self.cache_misses,
                 "evictions": self.cache_evictions,
             },
+            "header_cache": {
+                "hits": self.hc_hits,
+                "misses": self.hc_misses,
+                "uncacheable": self.hc_uncacheable,
+            },
             "tus": [asdict(t) for t in self.tus],
             "failures": [asdict(f) for f in self.failures],
-            "merge": {"wall_s": self.merge_wall_s, **asdict(self.merge)},
+            "merge": {
+                "wall_s": self.merge_wall_s,
+                "tree_depth": self.merge_tree_depth,
+                **asdict(self.merge),
+            },
             "output_items": self.output_items,
             "warnings": self.warnings,
             "errors": self.errors,
@@ -251,6 +271,11 @@ class _TUOutput:
     wall_s: float
     errors: list[str] = field(default_factory=list)
     spans: list = field(default_factory=list)
+    #: frontend header-cache activity during this TU's compilation
+    #: (plain ints, so they pickle back from worker processes)
+    hc_hits: int = 0
+    hc_misses: int = 0
+    hc_uncacheable: int = 0
 
 
 def _fault_matches(source: str, name: str) -> bool:
@@ -277,11 +302,29 @@ def _apply_fault_hooks(source: str) -> None:
                 os._exit(13)
 
 
+#: per-process Frontend reuse: ``(fingerprint, build epoch, Frontend)``.
+#: ProcessPoolExecutor recycles worker processes, so TUs compiled by the
+#: same worker within one :func:`build` call share one Frontend — and
+#: with it the shared-header token cache (:mod:`repro.cpp.headercache`).
+#: The epoch scopes sharing to a single build: a later build must not
+#: see this one's SourceManager state (disk files may have changed).
+_WORKER_FE: Optional[tuple[str, str, Frontend]] = None
+
+
+def _worker_frontend(options: BuildOptions, epoch: str) -> Frontend:
+    global _WORKER_FE
+    fp = options.fingerprint()
+    if _WORKER_FE is None or _WORKER_FE[0] != fp or _WORKER_FE[1] != epoch:
+        _WORKER_FE = (fp, epoch, Frontend(options.frontend_options()))
+    return _WORKER_FE[2]
+
+
 def _compile_tu(
     source: str,
     options: BuildOptions,
     files: Optional[dict[str, str]],
     trace: bool = False,
+    epoch: str = "",
 ) -> _TUOutput:
     """Compile one TU to PDB text.  Top-level so worker processes can
     unpickle it; everything it needs travels as plain data.
@@ -303,7 +346,7 @@ def _compile_tu(
             with observer.phase(
                 f"compile {Path(source).name}", cat="tu", source=source
             ):
-                out = _compile_tu(source, options, files, trace=False)
+                out = _compile_tu(source, options, files, trace=False, epoch=epoch)
         finally:
             obs.disable()
         out.spans = observer.spans
@@ -313,9 +356,11 @@ def _compile_tu(
 
     _apply_fault_hooks(source)
     start = time.perf_counter()
-    fe = Frontend(options.frontend_options())
+    fe = _worker_frontend(options, epoch)
     if files:
         fe.register_files(files)
+    hc = fe.header_cache
+    hc_base = (hc.hits, hc.misses, hc.uncacheable) if hc is not None else (0, 0, 0)
     try:
         tree = fe.compile(source)
     except CppError as exc:
@@ -353,6 +398,11 @@ def _compile_tu(
         warnings=warnings,
         wall_s=time.perf_counter() - start,
         errors=errors,
+        # deltas, not totals: the Frontend (and its counters) is shared
+        # across every TU this worker compiles in the current build
+        hc_hits=hc.hits - hc_base[0] if hc is not None else 0,
+        hc_misses=hc.misses - hc_base[1] if hc is not None else 0,
+        hc_uncacheable=hc.uncacheable - hc_base[2] if hc is not None else 0,
     )
 
 
@@ -377,6 +427,7 @@ def _retry_broken(
     outputs: dict[int, "_TUOutput"],
     failures: dict[int, TUFailure],
     trace: bool = False,
+    epoch: str = "",
 ) -> None:
     """Re-run one TU whose shared-pool future died with BrokenProcessPool.
 
@@ -385,7 +436,7 @@ def _retry_broken(
     single-worker pool.  A TU that kills its worker *again* is the real
     culprit and fails with phase ``worker``."""
     pool = ProcessPoolExecutor(max_workers=1)
-    fut = pool.submit(_compile_tu, source, options, files, trace)
+    fut = pool.submit(_compile_tu, source, options, files, trace, epoch)
     try:
         outputs[i] = fut.result(timeout=timeout)
         pool.shutdown()
@@ -483,6 +534,7 @@ def _build(
     stats = BuildStats(jobs=jobs, cache_dir=cache_dir)
     cache = BuildCache(cache_dir) if cache_dir else None
     fingerprint = options.fingerprint()
+    epoch = uuid.uuid4().hex  # scopes per-worker Frontend reuse to this build
 
     def read_content(name: str) -> Optional[str]:
         if files and name in files:
@@ -532,7 +584,11 @@ def _build(
             batch, remaining = remaining, []
             pool = ProcessPoolExecutor(max_workers=jobs)
             futures = [
-                (i, source, pool.submit(_compile_tu, source, options, files, trace))
+                (
+                    i,
+                    source,
+                    pool.submit(_compile_tu, source, options, files, trace, epoch),
+                )
                 for i, source in batch
             ]
             broken: list[tuple[int, str]] = []
@@ -567,12 +623,12 @@ def _build(
                 pool.shutdown()
             for i, source in broken:
                 _retry_broken(
-                    i, source, options, files, timeout, outputs, failures, trace
+                    i, source, options, files, timeout, outputs, failures, trace, epoch
                 )
     else:
         for i, source in to_compile:
             try:
-                outputs[i] = _compile_tu(source, options, files, trace)
+                outputs[i] = _compile_tu(source, options, files, trace, epoch)
             except TUCompileError as exc:
                 failures[i] = _failure_from(source, exc, "frontend")
 
@@ -618,6 +674,9 @@ def _build(
         )
         stats.warnings += out.warnings
         stats.errors += len(out.errors)
+        stats.hc_hits += out.hc_hits
+        stats.hc_misses += out.hc_misses
+        stats.hc_uncacheable += out.hc_uncacheable
     stats.failures = [failures[i] for i in sorted(failures)]
     if cache:
         stats.cache_hits = cache.stats.hits
@@ -625,22 +684,16 @@ def _build(
         stats.cache_evictions = cache.stats.evictions
 
     tm = time.perf_counter()
-    from repro.tools.pdbmerge import merge_pdbs
+    from repro.tools.pdbmerge import merge_pdb_texts_tree
 
     with obs.observe("pdb.merge", cat="pdbbuild", tus=len(sources) - len(failures)):
-        pdbs = [
-            PDB.from_text(outputs[i].pdb_text)
-            for i in range(len(sources))
-            if i not in failures
+        texts = [
+            outputs[i].pdb_text for i in range(len(sources)) if i not in failures
         ]
-        merged, merge_stats = merge_pdbs(pdbs)
+        # pairwise reduction tree; byte-identical to the serial fold,
+        # with the fold's aggregate MergeStats recovered analytically
+        merged, stats.merge, stats.merge_tree_depth = merge_pdb_texts_tree(texts)
     stats.merge_wall_s = time.perf_counter() - tm
-    for ms in merge_stats:
-        stats.merge.items_in += ms.items_in
-        stats.merge.items_added += ms.items_added
-        stats.merge.duplicates_eliminated += ms.duplicates_eliminated
-        stats.merge.duplicate_instantiations += ms.duplicate_instantiations
-        stats.merge.odr_conflicts += ms.odr_conflicts
     stats.output_items = len(merged.doc.items)
 
     if checks is not None:

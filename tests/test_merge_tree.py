@@ -1,0 +1,148 @@
+"""Tree-merge equivalence: the pairwise reduction must reproduce the
+serial left fold byte for byte (items, ids, ferr records) and recover
+the fold's aggregate MergeStats analytically."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.ductape.pdb import PDB
+from repro.pdbfmt.items import PdbDocument, RawItem
+from repro.tools.pdbmerge import merge_pdb_texts_tree, merge_pdbs, merge_pdbs_tree
+
+
+def _tu_pdb(tu: int, shared: int = 5, unique: int = 8) -> PDB:
+    """One synthetic per-TU document: shared items that dedup across
+    TUs, unique items that survive, and a template instantiation mix."""
+    doc = PdbDocument()
+    so = RawItem("so", 1, f"tu{tu}.cpp")
+    so.add("skind", "source")
+    doc.add(so)
+    next_id = {"cl": 0, "ro": 0}
+    for s in range(shared):
+        cl = RawItem("cl", next_id["cl"], f"Shared{s}")
+        next_id["cl"] += 1
+        cl.add("ckind", "class")
+        if s % 2:
+            cl.add("ctempl", "NULL")
+        doc.add(cl)
+        ro = RawItem("ro", next_id["ro"], f"shared_fn{s}")
+        next_id["ro"] += 1
+        ro.add("rsig", "NULL")
+        if s % 2:
+            ro.add("rtempl", "NULL")
+        doc.add(ro)
+    for u in range(unique):
+        ro = RawItem("ro", next_id["ro"], f"tu{tu}_fn{u}")
+        next_id["ro"] += 1
+        ro.add("rsig", "NULL")
+        doc.add(ro)
+    return PDB(doc)
+
+
+def _corpus(n: int) -> list[PDB]:
+    return [_tu_pdb(i) for i in range(n)]
+
+
+def _serial_aggregate(pdbs):
+    merged, per_fold = merge_pdbs(pdbs)
+    agg = {
+        "items_in": sum(s.items_in for s in per_fold),
+        "items_added": sum(s.items_added for s in per_fold),
+        "duplicates_eliminated": sum(s.duplicates_eliminated for s in per_fold),
+        "duplicate_instantiations": sum(s.duplicate_instantiations for s in per_fold),
+        "odr_conflicts": sum(s.odr_conflicts for s in per_fold),
+    }
+    return merged, agg
+
+
+@pytest.mark.parametrize("n", [2, 4, 16])
+@pytest.mark.parametrize("min_fanin", [2, 8])
+def test_tree_merge_byte_identical_to_fold(n, min_fanin):
+    serial, agg = _serial_aggregate(_corpus(n))
+    tree, stats, depth = merge_pdbs_tree(_corpus(n), min_fanin=min_fanin)
+    assert tree.to_text() == serial.to_text()
+    assert {
+        "items_in": stats.items_in,
+        "items_added": stats.items_added,
+        "duplicates_eliminated": stats.duplicates_eliminated,
+        "duplicate_instantiations": stats.duplicate_instantiations,
+        "odr_conflicts": stats.odr_conflicts,
+    } == agg
+    if min_fanin == 2 and n > 1:
+        assert depth == (n - 1).bit_length()  # genuinely pairwise
+
+
+def test_tree_merge_empty_and_single():
+    merged, stats, depth = merge_pdbs_tree([])
+    assert merged.to_text() == PDB(PdbDocument()).to_text()
+    assert depth == 0
+    one = _tu_pdb(0)
+    merged, stats, depth = merge_pdbs_tree([one])
+    assert merged.to_text() == one.to_text()
+    assert merged.doc is not one.doc  # still a private copy
+    assert depth == 0
+
+
+def test_tree_merge_does_not_mutate_inputs():
+    inputs = _corpus(6)
+    before = [p.to_text() for p in inputs]
+    merge_pdbs_tree(inputs, min_fanin=2)
+    assert [p.to_text() for p in inputs] == before
+
+
+def test_tree_merge_odr_conflicts_match_fold():
+    """Conflicting class definitions across TUs: the analytic aggregate
+    must equal the fold's summed odr_conflicts."""
+
+    def tu(i, line):
+        doc = PdbDocument()
+        so = RawItem("so", 1, f"t{i}.cpp")
+        so.add("skind", "source")
+        doc.add(so)
+        cl = RawItem("cl", 0, "Widget")
+        cl.add("ckind", "class")
+        cl.add("cloc", "so#1", line, 1)
+        doc.add(cl)
+        return PDB(doc)
+
+    pdbs = [tu(i, line) for i, line in enumerate([10, 20, 30, 40])]
+    serial, agg = _serial_aggregate(pdbs)
+    assert agg["odr_conflicts"] > 0
+    tree, stats, _ = merge_pdbs_tree(pdbs, min_fanin=2)
+    assert tree.to_text() == serial.to_text()
+    assert stats.odr_conflicts == agg["odr_conflicts"]
+
+
+def test_tree_merge_preserves_ferr_items():
+    def tu(i):
+        doc = PdbDocument()
+        so = RawItem("so", 1, f"t{i}.cpp")
+        so.add("skind", "source")
+        doc.add(so)
+        fe = RawItem("ferr", 0, f"t{i}.cpp:1: broken")
+        fe.add_text("emsg", f"broken in t{i}")
+        doc.add(fe)
+        return PDB(doc)
+
+    pdbs = [tu(i) for i in range(4)]
+    serial, _ = _serial_aggregate(pdbs)
+    tree, _, _ = merge_pdbs_tree(pdbs, min_fanin=2)
+    assert tree.to_text() == serial.to_text()
+    assert len(tree.doc.by_prefix("ferr")) == 4
+
+
+def test_text_tree_matches_fold():
+    texts = [p.to_text() for p in _corpus(9)]
+    serial, _ = _serial_aggregate([PDB.from_text(t) for t in texts])
+    merged, stats, depth = merge_pdb_texts_tree(texts, min_fanin=2)
+    assert merged.to_text() == serial.to_text()
+
+
+def test_text_tree_pooled_matches_fold():
+    texts = [p.to_text() for p in _corpus(8)]
+    serial, _ = _serial_aggregate([PDB.from_text(t) for t in texts])
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        merged, stats, depth = merge_pdb_texts_tree(texts, pool=pool, min_fanin=2)
+    assert merged.to_text() == serial.to_text()
+    assert depth == 3

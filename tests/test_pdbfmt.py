@@ -139,6 +139,36 @@ class TestReader:
         assert parse_pdb("<PDB 2.5>\n").version == "2.5"
 
 
+class TestLazyAttributes:
+    """The fast reader defers attribute materialisation per item."""
+
+    def test_parse_defers_materialisation(self):
+        doc = parse_pdb(write_pdb(sample_doc()))
+        ro = doc.find(ItemRef("ro", 1))
+        assert ro._attrs is None and ro._raw is not None
+        attrs = ro.attributes  # first touch materialises...
+        assert ro._attrs is attrs and ro._raw is None
+        assert ro.attributes is attrs  # ...exactly once
+
+    def test_mutation_after_parse_sticks(self):
+        doc = parse_pdb(write_pdb(sample_doc()))
+        ro = doc.find(ItemRef("ro", 2))
+        ro.add("racs", "PUB")
+        assert ro.get("racs").words == ["PUB"]
+        assert "racs PUB" in write_pdb(doc)
+
+    def test_lazy_and_eager_items_compare_equal(self):
+        eager = sample_doc().find(ItemRef("ro", 1))
+        lazy = parse_pdb(write_pdb(sample_doc())).find(ItemRef("ro", 1))
+        assert lazy == eager
+
+    def test_constructed_items_stay_eager(self):
+        item = RawItem("ro", 9, "f")
+        assert item._attrs == [] and item._raw is None
+        item.add("rloc", "so#1", 1, 1)
+        assert len(item.attributes) == 1
+
+
 class TestSpec:
     def test_table1_prefixes(self):
         """Paper Table 1's prefix column, exactly, plus this repro's
